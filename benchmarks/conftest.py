@@ -1,0 +1,47 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure at a scaled-down
+operating point (see DESIGN.md for the scaling rationale) and prints the
+rows, then asserts the paper's qualitative claims.  Simulations are
+deterministic and expensive, so every benchmark runs exactly one round
+via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+def save_rows(name: str, rows) -> None:
+    """Persist a benchmark's result rows for EXPERIMENTS.md regeneration."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    path = ARTIFACTS / f"{name}.json"
+    with path.open("w") as fh:
+        json.dump(rows, fh, indent=1, default=str)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run
+
+
+def by_scheme(rows, key):
+    """Group sweep rows: scheme -> list of values of *key* (sweep order)."""
+    out = {}
+    for row in rows:
+        out.setdefault(row["scheme"], []).append(row[key])
+    return out

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Render benchmark artifacts as markdown tables for EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``; reads the JSON row
+dumps each benchmark saved under ``benchmarks/artifacts/`` and prints
+one markdown table per experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+COLUMNS = {
+    "fig2": ["case", "long_flows", "web", "flow_level", "queue_level",
+             "flow_loss_events", "queue_drop_events"],
+    "fig3": ["predictor", "efficiency", "false_pos", "false_neg"],
+    "fig4": ["norm_queue_bin", "pdf"],
+    "fig5": ["queuing_delay_ms", "probability"],
+    "fig6": ["bandwidth_mbps", "n_fwd", "scheme", "norm_queue", "drop_rate",
+             "utilization", "jain"],
+    "fig7": ["rtt_ms", "scheme", "norm_queue", "drop_rate", "utilization",
+             "jain"],
+    "fig8": ["n_fwd", "scheme", "norm_queue", "drop_rate", "utilization",
+             "jain"],
+    "fig9": ["web_sessions", "scheme", "norm_queue", "drop_rate",
+             "utilization", "jain"],
+    "table1": ["scheme", "norm_queue", "paper_Q", "drop_rate", "utilization",
+               "jain", "paper_F"],
+    "fig11": ["hop", "scheme", "norm_queue", "drop_rate", "utilization",
+              "jain"],
+    "fig12": ["scheme", "epoch", "active_cohorts", "share_error"],
+    "fig12b": ["scheme", "concede_s", "reclaim_s", "drops_squeeze"],
+    "robustness": ["scheme", "seeds", "norm_queue_mean", "norm_queue_std",
+                   "drop_rate_mean", "utilization_mean", "jain_mean"],
+    "fig13a": ["n_minus", "min_delta_s"],
+    "fig13bd": ["rtt_ms", "stable", "w_star", "w_tail_min", "w_tail_max"],
+    "fig13_spectral": ["rtt_ms", "rightmost_re"],
+    "fig14": ["rtt_ms", "scheme", "norm_queue", "drop_rate", "utilization",
+              "jain"],
+    "ablation_alpha": ["alpha", "norm_queue", "drop_rate", "utilization",
+                       "early_responses", "jain"],
+    "ablation_beta": ["decrease", "norm_queue", "drop_rate", "utilization",
+                      "jain"],
+    "ablation_response_limit": ["limit", "norm_queue", "utilization",
+                                "early_responses"],
+}
+
+
+def fmt(v) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) < 1e-3:
+            return f"{v:.2e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def render(name: str, rows, columns) -> str:
+    lines = [f"### {name}", ""]
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join(["---"] * len(columns)) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c, "")) for c in columns)
+                     + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    if not ARTIFACTS.exists():
+        raise SystemExit("no artifacts; run the benchmark suite first")
+    for name, columns in COLUMNS.items():
+        path = ARTIFACTS / f"{name}.json"
+        if not path.exists():
+            print(f"### {name}\n\n(missing — benchmark not yet run)\n")
+            continue
+        rows = json.loads(path.read_text())
+        print(render(name, rows, columns))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Benchmark E-F11 — Figure 11: multiple bottlenecks (parking lot).
+
+Paper: PERT maintains low queues and zero drops on every router-router
+hop, with utilization like SACK/RED-ECN and fairness preserved.
+"""
+
+from repro.experiments.fig11_multibottleneck import PAPER_EXPECTATION, run
+from repro.experiments.report import format_table
+from repro.metrics.stats import mean
+
+from .conftest import run_once, save_rows
+
+
+def test_fig11_parking_lot(benchmark):
+    rows = run_once(benchmark, run, n_routers=5, cloud_size=4,
+                    link_bw=16e6, duration=45.0, warmup=18.0, seed=1)
+    save_rows("fig11", rows)
+    print()
+    print(format_table(
+        rows, ["hop", "scheme", "norm_queue", "drop_rate", "utilization",
+               "jain"],
+        title="Figure 11 (scaled reproduction)"))
+    print(f"paper: {PAPER_EXPECTATION}")
+    by = {}
+    for row in rows:
+        by.setdefault(row["scheme"], []).append(row)
+
+    pert = by["pert"]
+    droptail = by["sack-droptail"]
+    # PERT low queue and ~zero drops on every hop
+    assert all(r["norm_queue"] < 0.5 for r in pert)
+    assert all(r["drop_rate"] < 1e-3 for r in pert)
+    # droptail queue above PERT on every hop
+    for p_row, d_row in zip(pert, droptail):
+        assert p_row["norm_queue"] < d_row["norm_queue"]
+    # PERT utilization comparable to the RED-ECN router baseline
+    assert mean(r["utilization"] for r in pert) > \
+        mean(r["utilization"] for r in by["sack-red-ecn"]) - 0.15
+    # fairness preserved relative to droptail on every hop (the absolute
+    # Jain index mixes 1-hop and end-to-end flows, which no scheme
+    # equalizes perfectly on a parking lot)
+    for p_row, d_row in zip(pert, droptail):
+        assert p_row["jain"] > d_row["jain"]
+    assert all(r["jain"] > 0.55 for r in pert)

@@ -1,0 +1,56 @@
+"""Benchmark E-F12 — Figure 12: response to sudden traffic changes.
+
+Paper: cohorts of PERT flows joining every epoch (then leaving) re-share
+the bottleneck quickly and evenly; Vegas shows persistent unfairness
+between cohorts that started at different times.
+"""
+
+from repro.experiments.fig12_dynamics import (
+    PAPER_EXPECTATION,
+    cohort_share_error,
+    run_dynamics,
+)
+from repro.experiments.report import format_table
+
+from .conftest import run_once, save_rows
+
+PARAMS = dict(n_cohorts=3, cohort_size=4, epoch=15.0, bandwidth=10e6, seed=1)
+
+
+def test_fig12_dynamics(benchmark):
+    def job():
+        return {s: run_dynamics(s, **PARAMS) for s in ("pert", "vegas")}
+
+    results = run_once(benchmark, job)
+    rows = []
+    for scheme, res in results.items():
+        for e in range(res["n_cohorts"]):
+            rows.append({
+                "scheme": scheme,
+                "epoch": e,
+                "active_cohorts": e + 1,
+                "share_error": cohort_share_error(res, e),
+            })
+    save_rows("fig12", rows)
+    print()
+    print(format_table(rows, ["scheme", "epoch", "active_cohorts",
+                              "share_error"],
+                       title="Figure 12 (scaled reproduction)"))
+    print(f"paper: {PAPER_EXPECTATION}")
+
+    pert = results["pert"]
+    vegas = results["vegas"]
+    full = PARAMS["n_cohorts"] - 1
+    # PERT re-converges to near-equal cohort shares at full load
+    pert_err = cohort_share_error(pert, full)
+    vegas_err = cohort_share_error(vegas, full)
+    assert pert_err < 0.35
+    # Vegas' startup-order unfairness: worse cohort sharing than PERT
+    assert vegas_err > pert_err
+    # PERT keeps the pipe full through the transitions
+    times = pert["times"]
+    idx = [i for i, t in enumerate(times)
+           if full * PARAMS["epoch"] + 7.5 < t <= (full + 1) * PARAMS["epoch"]]
+    agg = sum(sum(pert["cohort_rates_bps"][k][i]
+                  for k in range(PARAMS["n_cohorts"])) for i in idx) / len(idx)
+    assert agg > 0.8 * PARAMS["bandwidth"]

@@ -1,0 +1,49 @@
+"""Benchmark — Section 4.7's non-responsive-traffic dynamics.
+
+Paper: "dynamic changes in traffic were caused by non-responsive
+traffic.  The results are similar" — responsive schemes concede and
+reclaim bandwidth promptly; PERT does so without filling the buffer.
+"""
+
+from repro.experiments.fig12b_cbr_dynamics import (
+    PAPER_EXPECTATION,
+    phase_settling_times,
+    run_cbr_dynamics,
+)
+from repro.experiments.report import format_table
+
+from .conftest import run_once, save_rows
+
+PARAMS = dict(bandwidth=10e6, n_flows=6, cbr_fraction=0.5,
+              t_on=20.0, t_off=40.0, duration=60.0, seed=1)
+
+
+def test_fig12b_cbr_dynamics(benchmark):
+    def job():
+        return {s: run_cbr_dynamics(s, **PARAMS)
+                for s in ("pert", "sack-droptail")}
+
+    results = run_once(benchmark, job)
+    rows = []
+    for scheme, res in results.items():
+        st = phase_settling_times(res)
+        rows.append({
+            "scheme": scheme,
+            "concede_s": st["concede_s"],
+            "reclaim_s": st["reclaim_s"],
+            "drops_squeeze": res["drops_during_squeeze"],
+        })
+    save_rows("fig12b", rows)
+    print()
+    print(format_table(rows, ["scheme", "concede_s", "reclaim_s",
+                              "drops_squeeze"],
+                       title="Section 4.7 CBR dynamics (scaled reproduction)"))
+    print(f"paper: {PAPER_EXPECTATION}")
+
+    pert = next(r for r in rows if r["scheme"] == "pert")
+    sack = next(r for r in rows if r["scheme"] == "sack-droptail")
+    # both respond within a few seconds...
+    assert pert["concede_s"] is not None and pert["concede_s"] < 5.0
+    assert pert["reclaim_s"] is not None and pert["reclaim_s"] < 5.0
+    # ...but PERT absorbs the squeeze without the loss storm
+    assert pert["drops_squeeze"] < 0.1 * max(sack["drops_squeeze"], 10)

@@ -1,0 +1,37 @@
+"""Benchmark E-F14 — Figure 14: emulating PI at end hosts.
+
+Paper: PERT-PI's utilization and average queue track router PI/ECN; the
+end-host emulation is very effective at avoiding drops; fairness is
+comparable across the RTT sweep.
+"""
+
+from repro.experiments.fig14_pert_pi import PAPER_EXPECTATION, run
+from repro.experiments.report import format_table
+from repro.metrics.stats import mean
+
+from .conftest import by_scheme, run_once, save_rows
+
+BENCH_RTTS = [0.02, 0.06, 0.120]
+
+
+def test_fig14_pert_pi(benchmark):
+    rows = run_once(benchmark, run, rtts=BENCH_RTTS, bandwidth=16e6,
+                    n_fwd=12, seed=1)
+    save_rows("fig14", rows)
+    print()
+    print(format_table(
+        rows, ["rtt_ms", "scheme", "norm_queue", "drop_rate",
+               "utilization", "jain"],
+        title="Figure 14 (scaled reproduction)"))
+    print(f"paper: {PAPER_EXPECTATION}")
+
+    p = by_scheme(rows, "drop_rate")
+    u = by_scheme(rows, "utilization")
+    j = by_scheme(rows, "jain")
+
+    # end-host PI avoids drops effectively
+    assert mean(p["pert-pi"]) < 0.01
+    # utilization comparable to the router PI/ECN baseline
+    assert mean(u["pert-pi"]) > mean(u["sack-pi-ecn"]) - 0.1
+    # fairness comparable across the sweep
+    assert mean(j["pert-pi"]) > 0.8

@@ -1,0 +1,33 @@
+"""Benchmark E-F4 — Figure 4: queue occupancy at srtt_0.99 false positives.
+
+Paper: prediction uncertainty concentrates at low queue occupancy —
+most false-positive mass sits below half the buffer, which motivates the
+RED-shaped (occupancy-proportional) response curve.
+"""
+
+from repro.experiments.fig4_false_positive_pdf import PAPER_EXPECTATION, run
+from repro.experiments.report import format_table
+from repro.experiments.section2 import TrafficCase
+
+from .conftest import run_once, save_rows
+
+BENCH_CASES = [
+    TrafficCase("case-light", n_fwd=12, n_rev=4, web_sessions=4),
+    TrafficCase("case-heavy", n_fwd=16, n_rev=6, web_sessions=10),
+]
+
+
+def test_fig4_false_positive_pdf(benchmark):
+    rows, levels = run_once(benchmark, run, cases=BENCH_CASES,
+                            bandwidth=16e6, duration=60.0, seed=2)
+    save_rows("fig4", rows)
+    print()
+    print(format_table(rows, ["norm_queue_bin", "pdf"],
+                       title="Figure 4 (scaled reproduction)"))
+    below_half = (sum(1 for x in levels if x < 0.5) / len(levels)
+                  if levels else 0.0)
+    print(f"false positives: {len(levels)}; fraction below half "
+          f"occupancy: {below_half:.2f}")
+    print(f"paper: {PAPER_EXPECTATION}")
+    assert len(levels) > 50, "too few false positives to form a PDF"
+    assert below_half > 0.5

@@ -1,0 +1,45 @@
+"""Benchmark E-F6 — Figure 6: impact of bottleneck bandwidth.
+
+Paper (1 Mbps - 1 Gbps, scaled here to a log-spaced 2-16 Mbps sweep):
+PERT queue <= RED-ECN-like, droptail queue high, proactive schemes near
+lossless, PERT fairness ~1.
+"""
+
+from repro.experiments.fig6_bandwidth import PAPER_EXPECTATION, run
+from repro.experiments.report import format_table
+from repro.metrics.stats import mean
+
+from .conftest import by_scheme, run_once, save_rows
+
+BENCH_BANDWIDTHS = [2e6, 4e6, 8e6, 16e6]
+
+
+def test_fig6_bandwidth_sweep(benchmark):
+    rows = run_once(benchmark, run, bandwidths=BENCH_BANDWIDTHS,
+                    duration=40.0, warmup=15.0, seed=1)
+    save_rows("fig6", rows)
+    print()
+    print(format_table(
+        rows,
+        ["bandwidth_mbps", "n_fwd", "scheme", "norm_queue", "drop_rate",
+         "utilization", "jain"],
+        title="Figure 6 (scaled reproduction)"))
+    print(f"paper: {PAPER_EXPECTATION}")
+
+    q = by_scheme(rows, "norm_queue")
+    p = by_scheme(rows, "drop_rate")
+    u = by_scheme(rows, "utilization")
+    j = by_scheme(rows, "jain")
+
+    # who wins: PERT's queue below droptail's at every point
+    assert all(a < b for a, b in zip(q["pert"], q["sack-droptail"]))
+    # PERT's mean queue comparable to (or better than) adaptive RED's
+    assert mean(q["pert"]) <= mean(q["sack-red-ecn"]) * 1.3
+    # proactive schemes ~lossless vs droptail's clear loss rate
+    assert mean(p["pert"]) < 0.2 * mean(p["sack-droptail"])
+    assert mean(p["vegas"]) < 0.5 * mean(p["sack-droptail"])
+    # utilization stays high for PERT except possibly the smallest buffer
+    assert all(x > 0.85 for x in u["pert"][1:])
+    # PERT fairness ~1 and above Vegas on average
+    assert all(x > 0.9 for x in j["pert"])
+    assert mean(j["pert"]) > mean(j["vegas"])

@@ -1,0 +1,36 @@
+"""Benchmark E-F9 — Figure 9: impact of web (bursty) traffic.
+
+Paper (10-1000 sessions at 150 Mbps, scaled here to 2-16 sessions at
+10 Mbps): PERT keeps the queue low and ~zero drops at every web load,
+like RED-ECN; long-flow fairness stays high.
+"""
+
+from repro.experiments.fig9_web import PAPER_EXPECTATION, run
+from repro.experiments.report import format_table
+from repro.metrics.stats import mean
+
+from .conftest import by_scheme, run_once, save_rows
+
+BENCH_SESSIONS = [2, 4, 8, 16]
+
+
+def test_fig9_web_sweep(benchmark):
+    rows = run_once(benchmark, run, session_counts=BENCH_SESSIONS,
+                    bandwidth=10e6, n_fwd=8, duration=40.0, warmup=15.0,
+                    seed=1)
+    save_rows("fig9", rows)
+    print()
+    print(format_table(
+        rows, ["web_sessions", "scheme", "norm_queue", "drop_rate",
+               "utilization", "jain"],
+        title="Figure 9 (scaled reproduction)"))
+    print(f"paper: {PAPER_EXPECTATION}")
+
+    q = by_scheme(rows, "norm_queue")
+    p = by_scheme(rows, "drop_rate")
+    j = by_scheme(rows, "jain")
+
+    assert all(a < b for a, b in zip(q["pert"], q["sack-droptail"]))
+    assert mean(p["pert"]) < 1e-3
+    assert mean(p["pert"]) < 0.2 * mean(p["sack-droptail"])
+    assert all(x > 0.9 for x in j["pert"])

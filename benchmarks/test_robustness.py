@@ -1,0 +1,49 @@
+"""Benchmark — seed-sweep robustness of the headline comparison.
+
+Not a paper artifact: re-runs the core PERT-vs-baselines comparison over
+three seeds and asserts the paper's orderings hold for *every* seed,
+guarding the rest of the suite against single-seed luck.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.robustness import seed_sweep, summarize_sweep
+
+from .conftest import run_once, save_rows
+
+PARAMS = dict(bandwidth=10e6, rtt=0.06, n_fwd=8, web_sessions=3,
+              duration=40.0, warmup=15.0)
+SEEDS = (1, 2, 3)
+
+
+def test_headline_orderings_hold_for_every_seed(benchmark):
+    sweep = run_once(
+        benchmark, seed_sweep,
+        ("pert", "sack-droptail", "sack-red-ecn", "vegas"),
+        seeds=SEEDS, **PARAMS,
+    )
+    rows = summarize_sweep(sweep)
+    save_rows("robustness", rows)
+    print()
+    print(format_table(
+        rows,
+        ["scheme", "seeds", "norm_queue_mean", "norm_queue_std",
+         "drop_rate_mean", "utilization_mean", "jain_mean"],
+        title="Seed-sweep robustness (3 seeds)"))
+
+    for i, seed in enumerate(SEEDS):
+        pert = sweep["pert"][i]
+        droptail = sweep["sack-droptail"][i]
+        red = sweep["sack-red-ecn"][i]
+        vegas = sweep["vegas"][i]
+        # every seed: PERT queue far below droptail, near-zero drops,
+        # high utilization and fairness, fairer than Vegas
+        assert pert["norm_queue"] < 0.6 * droptail["norm_queue"], seed
+        assert pert["drop_rate"] < 1e-3, seed
+        assert pert["drop_rate"] <= red["drop_rate"] + 1e-3, seed
+        assert pert["utilization"] > 0.9, seed
+        assert pert["jain"] > 0.95, seed
+        assert pert["jain"] > vegas["jain"], seed
+    # and the variance across seeds is small (the comparison is stable)
+    by = {r["scheme"]: r for r in rows}
+    assert by["pert"]["norm_queue_std"] < 0.1
+    assert by["pert"]["utilization_std"] < 0.05

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Window dynamics: PERT's gentle sawtooth vs SACK's loss-driven one.
+
+Traces one flow's congestion window under each scheme on the same
+bottleneck and renders the series as ASCII plots.  PERT's probabilistic
+35 % early decreases produce a shallow, frequent sawtooth that never
+fills the buffer; SACK rides the buffer up to overflow and halves.
+
+Run:  python examples/cwnd_dynamics.py
+"""
+
+from repro import DropTailQueue, Dumbbell, PertSender, SackSender, Simulator, connect_flow
+from repro.sim.trace import FlowTracer, ascii_series
+
+
+def trace(sender_cls, label):
+    sim = Simulator(seed=21)
+    net = Dumbbell(
+        sim, n_left=3, n_right=3, bottleneck_bw=8e6, bottleneck_delay=0.02,
+        qdisc_fwd=lambda: DropTailQueue(80),
+        access_delays_left=[0.005] * 3, access_delays_right=[0.005] * 3,
+    )
+    tracer = None
+    for i in range(3):
+        sender, _ = connect_flow(sim, net.left[i], net.right[i], flow_id=i,
+                                 sender_cls=sender_cls)
+        sender.start(at=0.2 * i)
+        if i == 0:
+            tracer = FlowTracer(sim, sender, interval=0.05, start=5.0)
+    sim.run(until=30.0)
+    stats = tracer.cwnd_stats()
+    print(ascii_series(tracer.cwnd, label=f"{label} cwnd (packets), 5-30 s"))
+    print(f"  mean={stats['mean']:.1f}  min={stats['min']:.1f}  "
+          f"max={stats['max']:.1f}  peak/trough={stats['swing']:.2f}\n")
+    return stats
+
+
+def main() -> None:
+    sack = trace(SackSender, "SACK")
+    pert = trace(PertSender, "PERT")
+    print(f"PERT's window swing ({pert['swing']:.2f}x) is shallower than "
+          f"SACK's ({sack['swing']:.2f}x):\nearly 35% decreases replace "
+          "buffer-overflow halvings (paper Section 3).")
+
+
+if __name__ == "__main__":
+    main()

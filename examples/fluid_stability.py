@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fluid-model stability study (paper Section 5, Figure 13).
+
+1. Tabulates the minimum stable sampling interval δ against the flow
+   lower bound N⁻ (eq. 13) for the paper's Figure 13(a) configuration.
+2. Integrates the PERT/RED delay differential equations at the paper's
+   three delays (100, 160, 171 ms) and classifies each trajectory.
+3. Bisects for the empirical stability boundary and renders an ASCII
+   plot of the window trajectory on both sides of it.
+
+Run:  python examples/fluid_stability.py
+"""
+
+from repro.fluid import (
+    PertRedFluidModel,
+    find_stability_boundary,
+    min_delta,
+    trajectory_is_stable,
+)
+
+FIG13A = dict(capacity=1000.0, r_plus=0.2, p_max=0.1, t_min=0.05,
+              t_max=0.1, alpha=0.99)
+FIG13BD = dict(capacity=100.0, n_flows=5, p_max=0.1, t_min=0.05,
+               t_max=0.1, alpha=0.99, delta=1e-4)
+
+
+def ascii_plot(values, width=64, height=12, title=""):
+    """Tiny ASCII line plot of a 1-D series."""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    cols = values[::step][:width]
+    rows = []
+    for level in range(height, -1, -1):
+        thresh = lo + span * level / height
+        line = "".join("*" if v >= thresh else " " for v in cols)
+        rows.append(f"{thresh:8.2f} |{line}")
+    print(title)
+    print("\n".join(rows))
+    print(" " * 10 + "-" * len(cols))
+
+
+def main() -> None:
+    print("Figure 13(a): minimum stable sampling interval (eq. 13)")
+    print(f"{'N-':>4s}  {'delta_min (s)':>14s}")
+    for n in (1, 2, 5, 10, 20, 30, 40, 50):
+        print(f"{n:4d}  {min_delta(n_minus=n, **FIG13A):14.4f}")
+
+    print("\nFigure 13(b-d): PERT/RED DDE trajectories (C=100 pkt/s, N=5)")
+    for rtt in (0.100, 0.160, 0.171):
+        model = PertRedFluidModel(rtt=rtt, **FIG13BD)
+        sol = model.simulate(duration=60.0, dt=2e-3)
+        verdict = "stable" if trajectory_is_stable(sol) else "UNSTABLE"
+        w_star = model.equilibrium()[0]
+        print(f"  R = {rtt*1e3:5.0f} ms: {verdict:8s}  (W* = {w_star:.2f} pkts)")
+
+    def make(rtt):
+        return PertRedFluidModel(rtt=rtt, **FIG13BD).simulate(60.0, dt=4e-3)
+
+    boundary = find_stability_boundary(make, lo=0.15, hi=0.19, tol=1e-3)
+    print(f"\nEmpirical stability boundary: R ~ {boundary*1e3:.0f} ms "
+          f"(paper observes ~171 ms)")
+
+    stable = make(boundary - 0.02).component(0)[-6000:]
+    unstable = make(boundary + 0.02).component(0)[-6000:]
+    print()
+    ascii_plot(list(stable), title=f"W(t), R = {(boundary-0.02)*1e3:.0f} ms "
+                                   "(converged)")
+    print()
+    ascii_plot(list(unstable), title=f"W(t), R = {(boundary+0.02)*1e3:.0f} ms "
+                                     "(oscillating)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Congestion-predictor study (paper Section 2, Figures 2-4).
+
+Runs one Section 2 traffic case, tags a flow, and replays every
+congestion predictor over its per-ACK RTT trace:
+
+* Figure 2's contrast — the fraction of high-RTT periods ending in loss
+  under flow-level vs queue-level loss accounting,
+* Figure 3's ranking — efficiency / false positives / false negatives
+  per predictor,
+* Figure 4's distribution — queue occupancy at srtt_0.99 false positives.
+
+Run:  python examples/predictor_study.py
+"""
+
+from repro.experiments.fig2_loss_correlation import rows_from_traces as fig2_rows
+from repro.experiments.fig3_predictors import rows_from_traces as fig3_rows
+from repro.experiments.fig4_false_positive_pdf import false_positive_queue_levels
+from repro.experiments.report import format_table
+from repro.experiments.section2 import TrafficCase, collect_case_trace
+from repro.metrics.stats import histogram_pdf
+
+
+def main() -> None:
+    case = TrafficCase("demo", n_fwd=14, n_rev=5, web_sessions=8)
+    print(f"collecting trace: {case.n_fwd}+{case.n_rev} long flows, "
+          f"{case.web_sessions} web sessions, 16 Mbps bottleneck ...")
+    trace = collect_case_trace(case, bandwidth=16e6, duration=60.0, seed=4)
+    traces = {case.name: trace}
+    print(f"observed flow: {len(trace.rtt_trace)} RTT samples, "
+          f"{len(trace.flow_losses)} own losses, "
+          f"{len(trace.queue_drops)} queue drops\n")
+
+    print(format_table(fig2_rows(traces),
+                       ["case", "long_flows", "web", "flow_level",
+                        "queue_level"],
+                       title="Figure 2 — high-RTT -> loss fraction"))
+    print("\n(the queue-level view shows delay predicts congestion far "
+          "better\nthan single-flow tcpdump studies suggested)\n")
+
+    print(format_table(fig3_rows(traces),
+                       ["predictor", "efficiency", "false_pos", "false_neg"],
+                       title="Figure 3 — predictor comparison"))
+
+    levels = false_positive_queue_levels(traces)
+    if levels:
+        pdf = histogram_pdf(levels, bins=10)
+        rows = [{"norm_queue": c, "pdf": p} for c, p in pdf]
+        below = sum(1 for x in levels if x < 0.5) / len(levels)
+        print()
+        print(format_table(rows, ["norm_queue", "pdf"],
+                           title="Figure 4 — queue occupancy at srtt_0.99 "
+                                 "false positives"))
+        print(f"\nfraction below half occupancy: {below:.2f} "
+              "(paper: most of the mass)")
+
+
+if __name__ == "__main__":
+    main()

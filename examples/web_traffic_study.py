@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Bursty web traffic under PERT vs DropTail (paper Section 4.4).
+
+Sweeps the number of background web sessions and shows PERT absorbing
+the bursts: the queue stays short and the long flows stay fair, while
+plain SACK over DropTail builds standing queues and drops packets.
+Also demonstrates driving the traffic generators directly.
+
+Run:  python examples/web_traffic_study.py
+"""
+
+import itertools
+
+from repro import DropTailQueue, Dumbbell, PertSender, SackSender, Simulator
+from repro.experiments.fig9_web import run as fig9_run
+from repro.experiments.report import format_table
+from repro.sim.monitors import QueueSampler
+from repro.traffic import start_web_sessions
+
+
+def direct_generator_demo() -> None:
+    """Drive WebSession directly: one heavy client behind a 4 Mbps link."""
+    sim = Simulator(seed=11)
+    db = Dumbbell(sim, n_left=1, n_right=1, bottleneck_bw=4e6,
+                  bottleneck_delay=0.02,
+                  qdisc_fwd=lambda: DropTailQueue(60))
+    sessions = start_web_sessions(
+        sim, 5, server=db.left[0], client=db.right[0],
+        flow_ids=itertools.count(), start_window=2.0,
+        sender_cls=PertSender, think_mean=0.5,
+    )
+    queue = QueueSampler(sim, db.bottleneck_queue, interval=0.05)
+    sim.run(until=30.0)
+    pages = sum(s.pages_fetched for s in sessions)
+    objects = sum(s.objects_fetched for s in sessions)
+    print(f"5 PERT web sessions over 30 s: {pages} pages, {objects} objects,"
+          f" mean queue {queue.mean():.1f} pkts,"
+          f" drops {db.bottleneck_queue.stats.drops}")
+
+
+def main() -> None:
+    print("== web-session generator demo ==")
+    direct_generator_demo()
+
+    print("\n== Figure 9 slice: web load sweep ==")
+    rows = fig9_run(session_counts=[2, 8], bandwidth=10e6, n_fwd=8,
+                    duration=40.0, warmup=15.0, seed=1,
+                    schemes=("pert", "sack-droptail"))
+    print(format_table(
+        rows, ["web_sessions", "scheme", "norm_queue", "drop_rate",
+               "utilization", "jain"],
+        title="Impact of web traffic (paper Figure 9, scaled)"))
+    print("\nPERT holds the queue short and lossless as the web load "
+          "grows;\nDropTail lets the bursts fill the buffer (paper "
+          "Sec. 4.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim; all metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works on environments whose setuptools
+lacks the ``wheel`` package (legacy editable installs go through
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

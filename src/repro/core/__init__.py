@@ -1,0 +1,32 @@
+"""PERT — Probabilistic Early Response TCP (the paper's contribution).
+
+Public API: the PERT senders (:class:`PertSender`, :class:`PertPiSender`),
+their configuration dataclasses, the smoothed-RTT congestion signals and
+the pluggable response curves.
+"""
+
+from .config import PertConfig, PertPiConfig
+from .pert import PertSender
+from .pert_owd import PertOwdSender
+from .pert_pi import PertPiSender
+from .pert_rem import PertRemConfig, PertRemSender
+from .response import GentleRedCurve, PiResponse, RedCurve, RemResponse
+from .srtt import SRTT_WEIGHT_PERT, SRTT_WEIGHT_TCP, EwmaRtt, MovingAverageRtt
+
+__all__ = [
+    "PertConfig",
+    "PertPiConfig",
+    "PertSender",
+    "PertOwdSender",
+    "PertPiSender",
+    "PertRemSender",
+    "PertRemConfig",
+    "GentleRedCurve",
+    "RedCurve",
+    "PiResponse",
+    "RemResponse",
+    "EwmaRtt",
+    "MovingAverageRtt",
+    "SRTT_WEIGHT_PERT",
+    "SRTT_WEIGHT_TCP",
+]

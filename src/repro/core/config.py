@@ -1,0 +1,109 @@
+"""Configuration objects for PERT agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["PertConfig", "PertPiConfig"]
+
+
+@dataclass
+class PertConfig:
+    """Parameters of PERT emulating gentle RED (paper Section 3).
+
+    Attributes
+    ----------
+    t_min, t_max:
+        Queuing-delay thresholds in seconds.  The paper uses
+        ``T_min = P + 5 ms`` and ``T_max = P + 10 ms``; expressed on the
+        queuing-delay axis these are 5 ms and 10 ms.
+    p_max:
+        Response probability at ``t_max`` (paper: 0.05).
+    srtt_weight:
+        History weight of the smoothed-RTT signal (paper: 0.99).
+    early_decrease:
+        Multiplicative early-response decrease (paper: 35 %, i.e. the
+        window becomes 0.65x), derived from the buffer-sizing rule
+        B > f/(1-f) * BDP of eq. (1).
+    min_response_interval_rtts:
+        Early responses are spaced at least this many (smoothed) RTTs
+        apart (paper: once per RTT).
+    gentle:
+        Use the gentle-RED ramp to 1 at ``2*t_max`` (paper's choice).
+
+    The remaining knobs implement the *adaptive pro-activeness* ideas the
+    paper sketches in Section 7 (all off by default, matching the paper's
+    evaluated configuration):
+
+    escalating_interval:
+        Progressively double the minimum response spacing while the
+        signal stays congested ("increasing the time for next response
+        progressively if queue lengths persist"); resets once the signal
+        drops below ``t_min``.
+    deterministic_threshold:
+        If set, respond deterministically (no coin flip) once the curve
+        probability exceeds this value ("limiting the probabilistic
+        early response to once when the probability exceeds some
+        threshold, say 0.75").
+    aggressive_increase:
+        Extra congestion-avoidance growth factor applied while the
+        signal shows no congestion, compensating for early-response
+        throughput loss ("the increase function can be made more
+        aggressive than that in TCP in the absence of congestion").
+        0 disables; 1.0 doubles the growth rate.
+    """
+
+    t_min: float = 0.005
+    t_max: float = 0.010
+    p_max: float = 0.05
+    srtt_weight: float = 0.99
+    early_decrease: float = 0.35
+    min_response_interval_rtts: float = 1.0
+    gentle: bool = True
+    escalating_interval: bool = False
+    deterministic_threshold: Optional[float] = None
+    aggressive_increase: float = 0.0
+
+    def validate(self) -> None:
+        if not 0 <= self.t_min < self.t_max:
+            raise ValueError("need 0 <= t_min < t_max")
+        if not 0 < self.p_max <= 1:
+            raise ValueError("p_max must be in (0, 1]")
+        if not 0 <= self.srtt_weight < 1:
+            raise ValueError("srtt_weight must be in [0, 1)")
+        if not 0 < self.early_decrease < 1:
+            raise ValueError("early_decrease must be in (0, 1)")
+        if self.min_response_interval_rtts < 0:
+            raise ValueError("min_response_interval_rtts must be >= 0")
+        if self.deterministic_threshold is not None and not (
+            0 < self.deterministic_threshold <= 1
+        ):
+            raise ValueError("deterministic_threshold must be in (0, 1]")
+        if self.aggressive_increase < 0:
+            raise ValueError("aggressive_increase must be >= 0")
+
+
+@dataclass
+class PertPiConfig:
+    """Parameters of PERT emulating a PI controller (paper Section 6).
+
+    ``k`` and ``m`` are the PI gains of eq. (16)/(21); ``target_delay``
+    is the queuing-delay set point (paper: 3 ms).
+    """
+
+    k: float = 0.1
+    m: float = 1.0
+    target_delay: float = 0.003
+    delta: float = 0.001
+    srtt_weight: float = 0.99
+    early_decrease: float = 0.35
+    min_response_interval_rtts: float = 1.0
+
+    def validate(self) -> None:
+        if self.k <= 0 or self.m <= 0:
+            raise ValueError("PI gains must be positive")
+        if self.target_delay < 0:
+            raise ValueError("target_delay must be >= 0")
+        if not 0 < self.early_decrease < 1:
+            raise ValueError("early_decrease must be in (0, 1)")

@@ -1,0 +1,109 @@
+"""PERT: Probabilistic Early Response TCP (the paper's contribution).
+
+PERT is a SACK TCP sender with one addition: on every incoming ACK it
+
+1. updates the ``srtt_0.99`` smoothed-RTT signal,
+2. converts it to a queuing-delay estimate (srtt minus the minimum
+   observed RTT, the propagation-delay proxy),
+3. maps the estimate through the gentle-RED probability curve, and
+4. with that probability — and at most once per RTT — multiplicatively
+   reduces the congestion window by 35 % (``cwnd *= 0.65``), emulating
+   what an ECN mark from a RED router would have caused.
+
+Packet losses are handled exactly as in SACK TCP (fast retransmit /
+recovery), so PERT degrades gracefully when prediction fails.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.packet import Packet
+from ..tcp.base import TcpSender
+from .config import PertConfig
+from .response import GentleRedCurve, RedCurve
+from .srtt import EwmaRtt
+
+__all__ = ["PertSender"]
+
+
+class PertSender(TcpSender):
+    """PERT sender emulating gentle-RED/ECN at the end host.
+
+    Parameters beyond :class:`~repro.tcp.base.TcpSender`'s are supplied
+    via a :class:`~repro.core.config.PertConfig`.
+    """
+
+    def __init__(self, *args, config: Optional[PertConfig] = None, **kwargs):
+        kwargs.setdefault("ecn", False)  # PERT needs no router support
+        super().__init__(*args, **kwargs)
+        self.config = config or PertConfig()
+        self.config.validate()
+        curve_cls = GentleRedCurve if self.config.gentle else RedCurve
+        self.curve = curve_cls(
+            t_min=self.config.t_min,
+            t_max=self.config.t_max,
+            p_max=self.config.p_max,
+        )
+        self.signal = EwmaRtt(weight=self.config.srtt_weight)
+        self._last_early_response = -1e9
+        self._interval_scale = 1.0  # Section 7: escalating response spacing
+        self.early_responses = 0
+        #: optional trace of (time, srtt, probability) for analysis
+        self.signal_trace: List[Tuple[float, float, float]] = []
+        self.record_signal = False
+
+    # ------------------------------------------------------------------
+    @property
+    def queuing_delay_estimate(self) -> float:
+        """Current smoothed queuing-delay estimate (srtt − min RTT)."""
+        return self.signal.queuing_delay
+
+    def response_probability(self) -> float:
+        """Early-response probability for the current signal value."""
+        return self.curve.probability(self.signal.queuing_delay)
+
+    # ------------------------------------------------------------------
+    def on_ack(self, pkt: Packet, rtt_sample: Optional[float]) -> None:
+        if rtt_sample is None:
+            return
+        self.signal.update(rtt_sample)
+        prob = self.response_probability()
+        if self.record_signal:
+            self.signal_trace.append((self.sim.now, self.signal.value, prob))
+        if prob <= 0.0:
+            # No congestion: the escalation resets, and the optional
+            # aggressive-increase compensation may add extra growth.
+            self._interval_scale = 1.0
+            if self.config.aggressive_increase > 0 and not self.in_recovery:
+                if self.cwnd >= self.ssthresh:
+                    self.cwnd = min(
+                        self.cwnd
+                        + self.config.aggressive_increase / self.cwnd,
+                        self.max_cwnd,
+                    )
+            return
+        if self.in_recovery:
+            # Loss recovery already reduced the window; early response on
+            # top of it would double-penalise the flow.
+            return
+        srtt = self.signal.value if self.signal.value is not None else self.rto
+        spacing = (self.config.min_response_interval_rtts * srtt
+                   * self._interval_scale)
+        if self.sim.now - self._last_early_response < spacing:
+            return
+        threshold = self.config.deterministic_threshold
+        if threshold is not None and prob >= threshold:
+            self._early_response()
+        elif self.rng.random() < prob:
+            self._early_response()
+
+    def _early_response(self) -> None:
+        """Multiplicative early decrease (paper: 35 %), no retransmission."""
+        self._last_early_response = self.sim.now
+        self.early_responses += 1
+        if self.config.escalating_interval:
+            self._interval_scale = min(self._interval_scale * 2.0, 16.0)
+        factor = 1.0 - self.config.early_decrease
+        self.cwnd = max(2.0, self.cwnd * factor)
+        self.ssthresh = max(2.0, self.cwnd)

@@ -1,0 +1,35 @@
+"""One-way-delay PERT (paper Section 7, "Impact of Reverse Traffic").
+
+PERT's RTT-based signal sums forward and reverse queuing delay, so
+congestion on the *reverse* path (which delays ACKs, not data) can
+trigger early responses.  The paper notes that if responding to reverse
+congestion is unacceptable, "PERT can be used with one-way delays to
+achieve similar benefits", citing the OWD-measurement techniques of
+TCP-LP and Sync-TCP.
+
+This variant feeds the smoothed-signal machinery with the *forward
+one-way delay* echoed by the receiver in each ACK, making the early
+response blind to reverse-path congestion while keeping every other
+part of PERT (gentle-RED curve, 35 % decrease, once-per-RTT limit)
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.packet import Packet
+from .pert import PertSender
+
+__all__ = ["PertOwdSender"]
+
+
+class PertOwdSender(PertSender):
+    """PERT variant whose congestion signal is the forward one-way delay."""
+
+    def on_ack(self, pkt: Packet, rtt_sample: Optional[float]) -> None:
+        owd = getattr(pkt, "owd_echo", -1.0)
+        if owd is None or owd <= 0:
+            return
+        # Reuse the parent's per-ACK logic with the OWD as the signal.
+        super().on_ack(pkt, rtt_sample=owd)

@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper table/figure.
+
+``common.run_dumbbell`` is the workhorse; ``scenarios.SCHEMES`` holds the
+protocol/queue pairings; each ``figN_*`` / ``table1_*`` module exposes
+``run()`` returning table rows and ``main()`` printing the reproduction
+alongside the paper's expectation.
+"""
+
+from .common import DumbbellResult, bdp_packets, run_dumbbell
+from .report import format_table
+from .scenarios import SCHEMES, Scheme, get_scheme
+from .section2 import TrafficCase, collect_case_trace, default_cases
+from .sweep import SECTION4_SCHEMES, sweep_dumbbell
+
+__all__ = [
+    "run_dumbbell",
+    "DumbbellResult",
+    "bdp_packets",
+    "SCHEMES",
+    "Scheme",
+    "get_scheme",
+    "format_table",
+    "sweep_dumbbell",
+    "SECTION4_SCHEMES",
+    "TrafficCase",
+    "default_cases",
+    "collect_case_trace",
+]

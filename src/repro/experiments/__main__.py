@@ -1,0 +1,82 @@
+"""Command-line runner for the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig6 [--scaled]
+    python -m repro.experiments all
+
+Each experiment prints the reproduced table next to the paper's
+expectation.  ``--scaled`` (default) uses the laptop-scale parameters;
+the module-level ``run()`` functions accept full-scale parameters
+programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    fig2_loss_correlation,
+    fig3_predictors,
+    fig4_false_positive_pdf,
+    fig5_response_curve,
+    fig6_bandwidth,
+    fig7_rtt,
+    fig8_nflows,
+    fig9_web,
+    fig11_multibottleneck,
+    fig12_dynamics,
+    fig12b_cbr_dynamics,
+    fig13_fluid,
+    fig14_pert_pi,
+    table1_rtts,
+)
+
+EXPERIMENTS = {
+    "fig2": fig2_loss_correlation,
+    "fig3": fig3_predictors,
+    "fig4": fig4_false_positive_pdf,
+    "fig5": fig5_response_curve,
+    "fig6": fig6_bandwidth,
+    "fig7": fig7_rtt,
+    "fig8": fig8_nflows,
+    "fig9": fig9_web,
+    "table1": table1_rtts,
+    "fig11": fig11_multibottleneck,
+    "fig12": fig12_dynamics,
+    "fig12b": fig12b_cbr_dynamics,
+    "fig13": fig13_fluid,
+    "fig14": fig14_pert_pi,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce a table/figure from the PERT paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment id (e.g. fig6, table1), 'list', or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, mod in sorted(EXPERIMENTS.items()):
+            doc = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        EXPERIMENTS[name].main()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

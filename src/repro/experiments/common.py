@@ -1,0 +1,260 @@
+"""Shared experiment harness: the paper's dumbbell methodology.
+
+One call to :func:`run_dumbbell` reproduces one data point of the
+Section 4 figures: build the single-bottleneck topology, start long-term
+flows (optionally in both directions) plus web sessions, run past a
+warm-up period, and measure — over the steady-state window only, as the
+paper does — the four headline metrics:
+
+* normalized average bottleneck queue length,
+* bottleneck drop rate,
+* bottleneck utilization,
+* Jain fairness index of the forward long-term flows' goodputs.
+
+The paper's buffer-sizing rule is applied: buffer = bandwidth-delay
+product, with a floor of twice the number of flows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.fairness import jain_index
+from ..sim.engine import Simulator
+from ..sim.monitors import DropLog, LinkWindow, QueueSampler
+from ..sim.topology import Dumbbell
+from ..tcp.base import TcpSender, TcpSink, connect_flow
+from ..traffic.web import start_web_sessions
+from .scenarios import Scheme, get_scheme, scheme_sender_kwargs
+
+__all__ = ["DumbbellResult", "run_dumbbell", "access_delays_for_rtts", "bdp_packets"]
+
+#: generous FIFO for access links and the reverse bottleneck direction
+_ACCESS_BUFFER = 5000
+
+
+def bdp_packets(bandwidth_bps: float, rtt: float, pkt_size: int) -> int:
+    """Bandwidth-delay product in packets (at least 1)."""
+    return max(1, int(round(bandwidth_bps * rtt / (8.0 * pkt_size))))
+
+
+def access_delays_for_rtts(
+    rtts: List[float], bottleneck_delay: float
+) -> List[float]:
+    """Per-host access delay so flow i's two-way propagation is rtts[i].
+
+    One-way path = access + bottleneck + access, with the two access
+    links sharing the remaining budget equally.
+    """
+    delays = []
+    for rtt in rtts:
+        residual = rtt / 2.0 - bottleneck_delay
+        if residual <= 0:
+            raise ValueError(
+                f"rtt {rtt} too small for bottleneck delay {bottleneck_delay}"
+            )
+        delays.append(residual / 2.0)
+    return delays
+
+
+@dataclass
+class DumbbellResult:
+    """Steady-state metrics of one dumbbell run."""
+
+    scheme: str
+    bandwidth: float
+    rtt: float
+    n_fwd: int
+    n_rev: int
+    web_sessions: int
+    buffer_pkts: int
+    mean_queue_pkts: float
+    norm_queue: float
+    drop_rate: float
+    mark_rate: float
+    utilization: float
+    jain: float
+    flow_goodputs_bps: List[float] = field(default_factory=list)
+    early_responses: int = 0
+    timeouts: int = 0
+    extras: Dict = field(default_factory=dict)
+
+
+def run_dumbbell(
+    scheme: str,
+    bandwidth: float,
+    rtt: float = 0.060,
+    n_fwd: int = 10,
+    n_rev: int = 0,
+    web_sessions: int = 0,
+    duration: float = 60.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    pkt_size: int = 1000,
+    buffer_pkts: Optional[int] = None,
+    rtts: Optional[List[float]] = None,
+    start_window: Optional[float] = None,
+    record_rtt_flow: Optional[int] = None,
+    queue_sample_interval: float = 0.02,
+    keep_refs: bool = False,
+) -> DumbbellResult:
+    """Run one dumbbell experiment point and return steady-state metrics.
+
+    Parameters
+    ----------
+    scheme:
+        Name from :data:`repro.experiments.scenarios.SCHEMES`.
+    bandwidth, rtt:
+        Bottleneck bandwidth (bps) and the flows' two-way propagation
+        delay (seconds).  ``rtts`` (one per forward flow) overrides
+        ``rtt`` for heterogeneous-RTT experiments (Table 1).
+    n_fwd, n_rev:
+        Long-lived flows in the forward / reverse direction.
+    web_sessions:
+        Background web sessions sharing the forward bottleneck.
+    duration, warmup:
+        Total simulated seconds and the measurement-window start.
+    buffer_pkts:
+        Bottleneck buffer; defaults to the paper's rule (BDP with a floor
+        of twice the flow count).
+    record_rtt_flow:
+        Forward-flow index whose per-ACK RTT trace and loss events are
+        retained (``extras["rtt_trace"]``, ``extras["flow_losses"]``,
+        plus a fine-grained queue sampler in ``extras["queue_sampler"]``).
+    keep_refs:
+        Also return live simulator objects in ``extras`` (for tests).
+    """
+    spec: Scheme = get_scheme(scheme)
+    if rtts is not None and len(rtts) != n_fwd:
+        raise ValueError("rtts must have one entry per forward flow")
+    flow_rtts = rtts if rtts is not None else [rtt] * max(n_fwd, 1)
+    base_rtt = min(flow_rtts)
+    # The paper sizes the buffer to the bandwidth-delay product; with
+    # heterogeneous RTTs we use the mean RTT as the representative delay.
+    mean_rtt = sum(flow_rtts) / len(flow_rtts)
+    if buffer_pkts is None:
+        buffer_pkts = max(
+            bdp_packets(bandwidth, mean_rtt, pkt_size), 2 * max(1, n_fwd), 8
+        )
+    n_hosts = max(n_fwd, n_rev, 1) + 1  # +1 pair reserved for web traffic
+    bottleneck_delay = base_rtt / 2.0 * 0.5
+    fwd_access = access_delays_for_rtts(flow_rtts, bottleneck_delay)
+    # pad access-delay lists up to the host count
+    pad = [fwd_access[0] if fwd_access else 1e-3]
+    left_delays = (fwd_access + pad * n_hosts)[:n_hosts]
+    right_delays = list(left_delays)
+
+    sim = Simulator(seed=seed)
+    sender_kwargs = scheme_sender_kwargs(spec, bandwidth, pkt_size, n_fwd, base_rtt)
+
+    def fwd_qdisc():
+        return spec.make_qdisc(sim, buffer_pkts, bandwidth, pkt_size, n_fwd, base_rtt)
+
+    def rev_qdisc():
+        # The bottleneck is symmetric: reverse-direction data (and the
+        # forward flows' ACKs) see the same buffer and discipline.
+        return spec.make_qdisc(sim, buffer_pkts, bandwidth, pkt_size, n_rev, base_rtt)
+
+    db = Dumbbell(
+        sim,
+        n_left=n_hosts,
+        n_right=n_hosts,
+        bottleneck_bw=bandwidth,
+        bottleneck_delay=bottleneck_delay,
+        qdisc_fwd=fwd_qdisc,
+        qdisc_rev=rev_qdisc,
+        access_delays_left=left_delays,
+        access_delays_right=right_delays,
+    )
+
+    flow_ids = itertools.count()
+    start_window = start_window if start_window is not None else min(5.0, warmup / 2.0)
+    rng = sim.stream("starts")
+
+    fwd_flows: List[Tuple[TcpSender, TcpSink]] = []
+    for i in range(n_fwd):
+        fid = next(flow_ids)
+        sender, sink = connect_flow(
+            sim, db.left[i], db.right[i], flow_id=fid, sender_cls=spec.sender_cls,
+            pkt_size=pkt_size, record_rtt=(record_rtt_flow == i), **sender_kwargs,
+        )
+        sender.start(at=rng.uniform(0.0, start_window))
+        fwd_flows.append((sender, sink))
+    rev_flows: List[Tuple[TcpSender, TcpSink]] = []
+    for i in range(n_rev):
+        fid = next(flow_ids)
+        sender, sink = connect_flow(
+            sim, db.right[i], db.left[i], flow_id=fid, sender_cls=spec.sender_cls,
+            pkt_size=pkt_size, **sender_kwargs,
+        )
+        sender.start(at=rng.uniform(0.0, start_window))
+        rev_flows.append((sender, sink))
+
+    if web_sessions > 0:
+        start_web_sessions(
+            sim,
+            web_sessions,
+            server=db.left[n_hosts - 1],
+            client=db.right[n_hosts - 1],
+            flow_ids=flow_ids,
+            rng=sim.stream("web-starts"),
+            start_window=start_window,
+            sender_cls=spec.sender_cls,
+            pkt_size=pkt_size,
+            **sender_kwargs,
+        )
+
+    window = LinkWindow(sim, db.fwd)
+    drop_log = DropLog(db.bottleneck_queue)
+    sampler = QueueSampler(
+        sim, db.bottleneck_queue,
+        interval=queue_sample_interval if record_rtt_flow is None else 0.005,
+    )
+
+    sim.run(until=warmup)
+    window.open()
+    goodput0 = [sink.rcv_next for _, sink in fwd_flows]
+    sim.run(until=duration)
+    window.close()
+
+    span = duration - warmup
+    goodputs = [
+        (sink.rcv_next - g0) * pkt_size * 8.0 / span
+        for (_, sink), g0 in zip(fwd_flows, goodput0)
+    ]
+    mean_q = sampler.mean(start=warmup, end=duration)
+    result = DumbbellResult(
+        scheme=scheme,
+        bandwidth=bandwidth,
+        rtt=base_rtt,
+        n_fwd=n_fwd,
+        n_rev=n_rev,
+        web_sessions=web_sessions,
+        buffer_pkts=buffer_pkts,
+        mean_queue_pkts=mean_q,
+        norm_queue=mean_q / buffer_pkts,
+        drop_rate=window.drop_rate,
+        mark_rate=window.mark_rate,
+        utilization=window.utilization,
+        jain=jain_index(goodputs) if goodputs else 0.0,
+        flow_goodputs_bps=goodputs,
+        early_responses=sum(
+            getattr(s, "early_responses", 0) for s, _ in fwd_flows + rev_flows
+        ),
+        timeouts=sum(s.timeouts for s, _ in fwd_flows + rev_flows),
+    )
+    if record_rtt_flow is not None:
+        tagged = fwd_flows[record_rtt_flow][0]
+        result.extras["rtt_trace"] = tagged.rtt_trace
+        result.extras["flow_losses"] = tagged.loss_events
+        result.extras["queue_drops"] = drop_log.times()
+        result.extras["queue_sampler"] = sampler
+        result.extras["queue_stats"] = db.bottleneck_queue.stats
+    if keep_refs:
+        result.extras["sim"] = sim
+        result.extras["dumbbell"] = db
+        result.extras["fwd_flows"] = fwd_flows
+        result.extras["rev_flows"] = rev_flows
+    return result

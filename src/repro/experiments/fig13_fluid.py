@@ -1,0 +1,89 @@
+"""Figure 13: fluid-model stability of PERT/RED.
+
+(a) minimum stable sampling interval δ versus the flow lower bound N⁻
+    (eq. 13), for C = 10 Mbps (1000 pkt/s), R⁺ = 200 ms, p_max = 0.1,
+    T_min/T_max = 50/100 ms, α = 0.99 — monotonically decreasing,
+    reaching ≈0.1 s at N⁻ = 40;
+
+(b-d) DDE trajectories of the model (eq. 14) with C = 100 pkt/s, N = 5:
+    stable and monotone at R = 100 ms, stable with decaying oscillation
+    at R = 160 ms, unstable (persistent oscillation) at R = 171 ms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..fluid.pert_red import PertRedFluidModel
+from ..fluid.stability import min_delta, trajectory_is_stable
+from .report import format_table
+
+__all__ = ["run_min_delta", "run_trajectories", "run", "main"]
+
+PAPER_EXPECTATION = (
+    "(a) min delta decreases monotonically to ~0.1 s at N-=40; "
+    "(b-d) stable at R=100 and 160 ms, unstable at 171 ms."
+)
+
+FIG13A_PARAMS = dict(capacity=1000.0, r_plus=0.2, p_max=0.1,
+                     t_min=0.05, t_max=0.1, alpha=0.99)
+FIG13BD_PARAMS = dict(capacity=100.0, n_flows=5, p_max=0.1,
+                      t_min=0.05, t_max=0.1, alpha=0.99, delta=1e-4)
+FIG13_DELAYS = (0.100, 0.160, 0.171)
+
+
+def run_min_delta(n_values: Sequence[int] = (1, 2, 5, 10, 20, 30, 40, 50)
+                  ) -> List[Dict]:
+    """Figure 13(a): δ_min versus N⁻ (paper eq. 13)."""
+    rows = []
+    for n in n_values:
+        rows.append({
+            "n_minus": n,
+            "min_delta_s": min_delta(n_minus=n, **FIG13A_PARAMS),
+        })
+    return rows
+
+
+def run_trajectories(
+    delays: Sequence[float] = FIG13_DELAYS,
+    duration: float = 60.0,
+    dt: float = 2e-3,
+) -> List[Dict]:
+    """Figure 13(b-d): classify DDE trajectories at each delay."""
+    rows = []
+    for r in delays:
+        model = PertRedFluidModel(rtt=r, **FIG13BD_PARAMS)
+        sol = model.simulate(duration=duration, dt=dt)
+        w_star, p_star, tq_star = model.equilibrium()
+        tail = sol.component(0)[-int(1.0 / dt):]
+        rows.append({
+            "rtt_ms": r * 1e3,
+            "stable": trajectory_is_stable(sol),
+            "w_star": w_star,
+            "w_tail_min": float(tail.min()),
+            "w_tail_max": float(tail.max()),
+        })
+    return rows
+
+
+def run(**kwargs) -> Dict[str, List[Dict]]:
+    return {
+        "fig13a": run_min_delta(),
+        "fig13bd": run_trajectories(**kwargs),
+    }
+
+
+def main() -> None:
+    out = run()
+    print(format_table(out["fig13a"], ["n_minus", "min_delta_s"],
+                       title="Figure 13(a) — minimum stable sampling interval"))
+    print()
+    print(format_table(out["fig13bd"],
+                       ["rtt_ms", "stable", "w_star", "w_tail_min",
+                        "w_tail_max"],
+                       title="Figure 13(b-d) — PERT/RED fluid trajectories"))
+    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Figure 14: emulating PI at end hosts (PERT-PI vs router PI/ECN).
+
+Paper setup: like the Figure 7 RTT sweep, comparing PERT-PI against
+router-based PI with ECN support (and implicitly PERT/RED).  PERT-PI's
+controller gains come from Theorem 2, scaled by link capacity; the
+target queuing delay is 3 ms.
+
+Paper claims: PERT-PI matches router PI/ECN on utilization and average
+queue, is very effective at avoiding drops, and its fairness is slightly
+worse at low RTTs / slightly better at high RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .common import run_dumbbell
+from .report import format_table
+from .sweep import result_row
+
+__all__ = ["run", "main", "DEFAULT_RTTS", "FIG14_SCHEMES"]
+
+PAPER_EXPECTATION = (
+    "PERT-PI utilization and queue similar to router PI/ECN; ~zero "
+    "drops; fairness comparable (slightly worse at low RTT, slightly "
+    "better at high RTT)."
+)
+
+DEFAULT_RTTS = [0.02, 0.06, 0.120, 0.240]
+FIG14_SCHEMES = ("pert-pi", "sack-pi-ecn", "pert")
+
+
+def run(
+    rtts: Optional[Sequence[float]] = None,
+    bandwidth: float = 16e6,
+    n_fwd: int = 12,
+    seed: int = 1,
+    schemes: Sequence[str] = FIG14_SCHEMES,
+    web_sessions: int = 3,
+    base_duration: float = 40.0,
+) -> List[dict]:
+    rtts = list(rtts) if rtts is not None else DEFAULT_RTTS
+    rows: List[dict] = []
+    for rtt in rtts:
+        duration = max(base_duration, 300.0 * rtt)
+        warmup = duration * 0.375
+        for scheme in schemes:
+            result = run_dumbbell(
+                scheme,
+                bandwidth=bandwidth,
+                rtt=rtt,
+                n_fwd=n_fwd,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                web_sessions=web_sessions,
+            )
+            rows.append(result_row(result, {"rtt_ms": rtt * 1e3}))
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print(format_table(
+        rows,
+        ["rtt_ms", "scheme", "norm_queue", "drop_rate", "utilization", "jain"],
+        title="Figure 14 — emulating PI at end hosts",
+    ))
+    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+
+
+if __name__ == "__main__":
+    main()

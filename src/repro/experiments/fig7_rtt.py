@@ -1,0 +1,72 @@
+"""Figure 7: impact of end-to-end RTT.
+
+Paper setup: 150 Mbps bottleneck, 50 flows, RTT swept 10 ms - 1 s (log
+axis).  Scaled default: 16 Mbps, 12 flows, RTT 20-400 ms; the run length
+grows with RTT so every point reaches steady state.
+
+Paper claims: PERT's queue and drop rate track SACK/RED-ECN (adaptive
+RED has a small utilization edge since PERT's thresholds are fixed);
+fairness stays high across the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .report import format_table
+from .sweep import SECTION4_SCHEMES, result_row
+from .common import run_dumbbell
+
+__all__ = ["run", "main", "DEFAULT_RTTS"]
+
+PAPER_EXPECTATION = (
+    "Queue and drop rate of PERT similar to SACK/RED-ECN across RTTs; "
+    "utilization high for all but dipping at extreme RTTs; Jain index "
+    "high for PERT."
+)
+
+DEFAULT_RTTS = [0.02, 0.04, 0.06, 0.120, 0.240, 0.400]
+
+
+def run(
+    rtts: Optional[Sequence[float]] = None,
+    bandwidth: float = 16e6,
+    n_fwd: int = 12,
+    seed: int = 1,
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+    web_sessions: int = 3,
+    base_duration: float = 40.0,
+) -> List[dict]:
+    rtts = list(rtts) if rtts is not None else DEFAULT_RTTS
+    rows: List[dict] = []
+    for rtt in rtts:
+        # Longer feedback loops need longer runs: ~200 RTTs of steady state.
+        duration = max(base_duration, 300.0 * rtt)
+        warmup = duration * 0.375
+        for scheme in schemes:
+            result = run_dumbbell(
+                scheme,
+                bandwidth=bandwidth,
+                rtt=rtt,
+                n_fwd=n_fwd,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                web_sessions=web_sessions,
+            )
+            rows.append(result_row(result, {"rtt_ms": rtt * 1e3}))
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print(format_table(
+        rows,
+        ["rtt_ms", "scheme", "norm_queue", "drop_rate", "utilization", "jain"],
+        title="Figure 7 — impact of end-to-end RTT",
+    ))
+    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+
+
+if __name__ == "__main__":
+    main()

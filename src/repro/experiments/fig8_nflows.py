@@ -1,0 +1,68 @@
+"""Figure 8: impact of the number of long-term flows.
+
+Paper setup: 500 Mbps bottleneck, 60 ms RTT, flow count swept 1 - 1000
+(log axis).  Scaled default: 32 Mbps with 1 - 80 flows, which spans the
+same per-flow-window regimes (large windows down to ~2-3 packets).
+
+Paper claims: PERT's queue/drops track SACK/RED-ECN as flows grow; Jain
+index stays high even at large flow counts; Vegas' queue and drops grow
+with the number of flows (it parks alpha..beta packets per flow) while
+its fairness stays low.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .report import format_table
+from .sweep import SECTION4_SCHEMES, sweep_dumbbell
+
+__all__ = ["run", "main", "DEFAULT_FLOW_COUNTS"]
+
+PAPER_EXPECTATION = (
+    "PERT queue/drops similar to RED-ECN at every flow count; Vegas "
+    "queue (and eventually drops) grow with flows, fairness low; "
+    "droptail queue high throughout."
+)
+
+DEFAULT_FLOW_COUNTS = [1, 2, 5, 10, 20, 40, 80]
+
+
+def run(
+    flow_counts: Optional[Sequence[int]] = None,
+    bandwidth: float = 32e6,
+    rtt: float = 0.060,
+    duration: float = 40.0,
+    warmup: float = 15.0,
+    seed: int = 1,
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+    web_sessions: int = 3,
+) -> List[dict]:
+    flow_counts = (
+        list(flow_counts) if flow_counts is not None else DEFAULT_FLOW_COUNTS
+    )
+    points = [{"n_fwd": n} for n in flow_counts]
+    return sweep_dumbbell(
+        points,
+        schemes=schemes,
+        bandwidth=bandwidth,
+        rtt=rtt,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        web_sessions=web_sessions,
+    )
+
+
+def main() -> None:
+    rows = run()
+    print(format_table(
+        rows,
+        ["n_fwd", "scheme", "norm_queue", "drop_rate", "utilization", "jain"],
+        title="Figure 8 — impact of the number of long-term flows",
+    ))
+    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+
+
+if __name__ == "__main__":
+    main()

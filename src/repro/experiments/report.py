@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment module prints its reproduction of a paper table/figure
+as an aligned text table; benchmarks reuse the same rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Human-friendly scalar formatting (probabilities in scientific)."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) < 1e-3:
+            return f"{v:.2e}"
+        if abs(v) >= 1e5:
+            return f"{v:.3g}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render dict-rows as an aligned text table with a rule under headers."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cells: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells.append([format_value(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

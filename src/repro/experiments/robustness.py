@@ -1,0 +1,69 @@
+"""Seed-sweep robustness: do the paper's conclusions survive reseeding?
+
+Every benchmark in this repository runs one seed per point (the
+simulations are deterministic).  This module re-runs a comparison over
+several seeds and reports per-metric means and standard deviations, so
+the headline orderings (e.g. "PERT's queue is below DropTail's") can be
+asserted *for every seed* rather than for one lucky draw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..metrics.stats import mean, stdev
+from .common import run_dumbbell
+from .report import format_table
+
+__all__ = ["seed_sweep", "summarize_sweep", "main"]
+
+METRICS = ("norm_queue", "drop_rate", "utilization", "jain")
+
+
+def seed_sweep(
+    schemes: Sequence[str],
+    seeds: Iterable[int] = (1, 2, 3),
+    **run_kwargs,
+) -> Dict[str, List[Dict]]:
+    """Run each scheme once per seed; returns scheme -> list of metric rows."""
+    out: Dict[str, List[Dict]] = {}
+    for scheme in schemes:
+        rows = []
+        for seed in seeds:
+            r = run_dumbbell(scheme, seed=seed, **run_kwargs)
+            rows.append({m: getattr(r, m) for m in METRICS} | {"seed": seed})
+        out[scheme] = rows
+    return out
+
+
+def summarize_sweep(sweep: Dict[str, List[Dict]]) -> List[Dict]:
+    """Mean and stdev per scheme per metric, flattened to table rows."""
+    rows = []
+    for scheme, samples in sweep.items():
+        row: Dict = {"scheme": scheme, "seeds": len(samples)}
+        for m in METRICS:
+            vals = [s[m] for s in samples]
+            row[f"{m}_mean"] = mean(vals)
+            row[f"{m}_std"] = stdev(vals)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    sweep = seed_sweep(
+        ("pert", "sack-droptail", "sack-red-ecn", "vegas"),
+        seeds=(1, 2, 3),
+        bandwidth=10e6, rtt=0.06, n_fwd=8, web_sessions=3,
+        duration=40.0, warmup=15.0,
+    )
+    rows = summarize_sweep(sweep)
+    print(format_table(
+        rows,
+        ["scheme", "seeds", "norm_queue_mean", "norm_queue_std",
+         "drop_rate_mean", "utilization_mean", "jain_mean"],
+        title="Seed-sweep robustness (3 seeds per scheme)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

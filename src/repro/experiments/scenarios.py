@@ -1,0 +1,142 @@
+"""Scheme registry: the protocol/queue combinations the paper compares.
+
+Every Section 4 experiment contrasts
+
+* ``sack-droptail``  — SACK TCP over tail-drop FIFOs,
+* ``sack-red-ecn``   — ECN-enabled SACK over adaptive gentle RED,
+* ``vegas``          — TCP Vegas over tail-drop FIFOs,
+* ``pert``           — PERT over tail-drop FIFOs (no router support),
+
+and Section 6 adds
+
+* ``pert-pi``        — PERT emulating a PI controller, tail-drop FIFOs,
+* ``sack-pi-ecn``    — ECN-enabled SACK over a router PI/ECN queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Type
+
+from ..core.config import PertPiConfig
+from ..core.pert import PertSender
+from ..core.pert_owd import PertOwdSender
+from ..core.pert_pi import PertPiSender
+from ..core.pert_rem import PertRemSender
+from ..fluid.stability import pert_pi_gains
+from ..sim.engine import Simulator
+from ..sim.queues import DropTailQueue, PiQueue, QueueDiscipline, RedQueue
+from ..tcp.base import TcpSender
+from ..tcp.reno import NewRenoSender
+from ..tcp.sack import SackEcnSender, SackSender
+from ..tcp.vegas import VegasSender
+
+__all__ = ["Scheme", "SCHEMES", "get_scheme", "scheme_sender_kwargs"]
+
+
+@dataclass
+class Scheme:
+    """A (sender class, bottleneck queue factory) pairing.
+
+    ``make_qdisc(sim, buffer_pkts, bandwidth_bps, pkt_size, n_flows, rtt)``
+    builds the bottleneck queue; access and reverse-path queues are always
+    generously sized DropTail (the paper's AQM sits only on the bottleneck).
+    """
+
+    name: str
+    sender_cls: Type[TcpSender]
+    make_qdisc: Callable[..., QueueDiscipline]
+    sender_kwargs: Dict = field(default_factory=dict)
+
+
+def _droptail(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
+              pkt_size: int, n_flows: int, rtt: float) -> QueueDiscipline:
+    return DropTailQueue(capacity_pkts=buffer_pkts)
+
+
+def _adaptive_red(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
+                  pkt_size: int, n_flows: int, rtt: float) -> QueueDiscipline:
+    # Adaptive RED auto-thresholds: min_th from a ~10 ms target delay,
+    # bounded to a quarter of the buffer; max_th = 3 * min_th per Floyd
+    # et al.'s auto-configuration.
+    pkt_rate = bandwidth_bps / (8.0 * pkt_size)
+    min_th = max(5.0, min(0.01 * pkt_rate, buffer_pkts / 4.0))
+    max_th = 3.0 * min_th
+    return RedQueue(
+        capacity_pkts=buffer_pkts,
+        min_th=min_th,
+        max_th=max_th,
+        max_p=0.1,
+        gentle=True,
+        ecn=True,
+        adaptive=True,
+        mean_pkt_time=1.0 / pkt_rate,
+        rng=sim.stream("red"),
+    )
+
+
+def _pi_queue(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
+              pkt_size: int, n_flows: int, rtt: float) -> QueueDiscipline:
+    # Gains from the TCP/PI design rule, expressed per packet of queue:
+    # reuse Theorem 2's schedule divided by capacity (queue length = C*Tq).
+    pkt_rate = bandwidth_bps / (8.0 * pkt_size)
+    k, m = pert_pi_gains(capacity=pkt_rate, n_minus=max(1, n_flows // 2),
+                         r_plus=max(rtt * 1.5, 0.05))
+    sample_hz = 170.0
+    delta = 1.0 / sample_hz
+    gamma = k / m + k * delta / 2.0
+    beta = k / m - k * delta / 2.0
+    q_ref = max(1.0, 0.003 * pkt_rate)  # 3 ms target delay
+    return PiQueue(
+        capacity_pkts=buffer_pkts,
+        q_ref=q_ref,
+        a=gamma / pkt_rate,
+        b=beta / pkt_rate,
+        sample_hz=sample_hz,
+        ecn=True,
+        sim=sim,
+        rng=sim.stream("pi"),
+    )
+
+
+def _make_pert_pi_kwargs(bandwidth_bps: float, pkt_size: int, n_flows: int,
+                         rtt: float) -> Dict:
+    pkt_rate = bandwidth_bps / (8.0 * pkt_size)
+    k, m = pert_pi_gains(capacity=pkt_rate, n_minus=max(1, n_flows // 2),
+                         r_plus=max(rtt * 1.5, 0.05))
+    cfg = PertPiConfig(k=k, m=m, target_delay=0.003,
+                       delta=max(1e-4, n_flows / pkt_rate))
+    return {"config": cfg}
+
+
+SCHEMES: Dict[str, Scheme] = {
+    "sack-droptail": Scheme("sack-droptail", SackSender, _droptail),
+    "sack-red-ecn": Scheme("sack-red-ecn", SackEcnSender, _adaptive_red),
+    "vegas": Scheme("vegas", VegasSender, _droptail),
+    "pert": Scheme("pert", PertSender, _droptail),
+    "pert-pi": Scheme("pert-pi", PertPiSender, _droptail),
+    "sack-pi-ecn": Scheme("sack-pi-ecn", SackEcnSender, _pi_queue),
+    # Section 7 / generality extensions
+    "pert-owd": Scheme("pert-owd", PertOwdSender, _droptail),
+    "pert-rem": Scheme("pert-rem", PertRemSender, _droptail),
+    # non-SACK reference stack (the Section 2 studies observed standard TCP)
+    "newreno-droptail": Scheme("newreno-droptail", NewRenoSender, _droptail),
+}
+
+
+def get_scheme(name: str) -> Scheme:
+    """Look up a scheme by name; raises KeyError with the valid names."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; valid: {sorted(SCHEMES)}") from None
+
+
+def scheme_sender_kwargs(scheme: Scheme, bandwidth_bps: float, pkt_size: int,
+                         n_flows: int, rtt: float) -> Dict:
+    """Per-run sender kwargs (PERT-PI gains depend on the operating point)."""
+    if scheme.sender_cls is PertPiSender:
+        kw = dict(scheme.sender_kwargs)
+        kw.update(_make_pert_pi_kwargs(bandwidth_bps, pkt_size, n_flows, rtt))
+        return kw
+    return dict(scheme.sender_kwargs)

@@ -1,0 +1,134 @@
+"""Section 2 measurement study: traffic cases and tagged-flow traces.
+
+The paper's Section 2 builds six traffic cases on a single-bottleneck
+topology — combinations of {50, 100} long-term flows (split between the
+two directions) and {100, 500, 1000} web sessions — and observes one
+tagged long-term flow, collecting its per-ACK RTT samples, its own loss
+events, and all drops at the bottleneck queue.  Figures 2, 3 and 4 are
+all computed from these traces.
+
+This module produces the same artefacts at a configurable scale: the
+default ``TrafficCase`` grid divides flow counts and web sessions by ~5
+and the bandwidth by ~6 relative to the paper, keeping per-flow windows
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .common import run_dumbbell
+
+__all__ = [
+    "TrafficCase",
+    "default_cases",
+    "collect_case_trace",
+    "collect_all_cases",
+    "CaseTrace",
+]
+
+
+@dataclass(frozen=True)
+class TrafficCase:
+    """One Section 2 load case (paper: case1..case6)."""
+
+    name: str
+    n_fwd: int
+    n_rev: int
+    web_sessions: int
+
+
+def default_cases(scale: float = 1.0) -> List[TrafficCase]:
+    """The six paper cases, scaled down for a pure-Python substrate.
+
+    Paper grid: {50, 100} long flows x {100, 500, 1000} web sessions on a
+    100 Mbps bottleneck.  Default scale 1.0 gives {10, 20} long flows x
+    {4, 10, 20} web sessions on the 16 Mbps bottleneck used by
+    :func:`collect_case_trace`.
+    """
+    longs = [int(10 * scale) or 1, int(20 * scale) or 2]
+    webs = [int(4 * scale) or 1, int(10 * scale) or 2, int(20 * scale) or 3]
+    cases = []
+    i = 1
+    for n_long in longs:
+        for web in webs:
+            cases.append(
+                TrafficCase(
+                    name=f"case{i}",
+                    n_fwd=n_long,
+                    n_rev=max(1, n_long // 2),
+                    web_sessions=web,
+                )
+            )
+            i += 1
+    return cases
+
+
+@dataclass
+class CaseTrace:
+    """Artefacts of one observed-flow measurement run."""
+
+    case: TrafficCase
+    rtt_trace: List[Tuple[float, float, float]]  # (time, rtt, cwnd)
+    flow_losses: List[float]
+    queue_drops: List[float]
+    queue_sampler: object  # QueueSampler (length_at / mean)
+    buffer_pkts: int
+    base_rtt: float
+
+
+def collect_case_trace(
+    case: TrafficCase,
+    bandwidth: float = 16e6,
+    rtt: float = 0.060,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    seed: int = 1,
+    scheme: str = "sack-droptail",
+) -> CaseTrace:
+    """Run one traffic case, observing forward flow 0 (the paper's flow).
+
+    The observed flow records every per-ACK RTT; losses are logged both
+    at the flow (its own loss detections, the tcpdump-style view) and at
+    the bottleneck queue (every drop) — the two loss definitions
+    contrasted in Figure 2.
+
+    As in the paper's Section 2 topology, the competing flows get a
+    spread of RTTs (the observed flow keeps exactly *rtt*), which
+    desynchronizes their sawtooths.
+    """
+    rtts = [rtt]
+    for i in range(1, case.n_fwd):
+        rtts.append(rtt * (0.6 + 1.4 * (i - 1) / max(1, case.n_fwd - 2)))
+    result = run_dumbbell(
+        scheme,
+        bandwidth=bandwidth,
+        rtt=rtt,
+        rtts=rtts[: case.n_fwd],
+        n_fwd=case.n_fwd,
+        n_rev=case.n_rev,
+        web_sessions=case.web_sessions,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        record_rtt_flow=0,
+    )
+    trace = [(t, r, w) for t, r, w in result.extras["rtt_trace"] if t >= warmup]
+    return CaseTrace(
+        case=case,
+        rtt_trace=trace,
+        flow_losses=[t for t in result.extras["flow_losses"] if t >= warmup],
+        queue_drops=[t for t in result.extras["queue_drops"] if t >= warmup],
+        queue_sampler=result.extras["queue_sampler"],
+        buffer_pkts=result.buffer_pkts,
+        base_rtt=result.rtt,
+    )
+
+
+def collect_all_cases(
+    cases: List[TrafficCase] = None, **kwargs
+) -> Dict[str, CaseTrace]:
+    """Collect traces for every case; keyed by case name."""
+    cases = cases if cases is not None else default_cases()
+    return {c.name: collect_case_trace(c, **kwargs) for c in cases}

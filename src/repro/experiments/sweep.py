@@ -1,0 +1,53 @@
+"""Parameter-sweep driver shared by the Section 4 figures.
+
+Each of Figures 6-9 is a sweep of one dumbbell parameter with the four
+schemes overlaid; this module runs the grid and flattens results to rows
+(one per scheme x point) ready for :func:`repro.experiments.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .common import DumbbellResult, run_dumbbell
+
+__all__ = ["SECTION4_SCHEMES", "sweep_dumbbell", "result_row"]
+
+#: the paper's Section 4 comparison set
+SECTION4_SCHEMES = ("pert", "sack-droptail", "sack-red-ecn", "vegas")
+
+
+def result_row(result: DumbbellResult, point: Dict) -> Dict:
+    """Flatten a run result into a table row, tagged with sweep values."""
+    row = dict(point)
+    row.update(
+        scheme=result.scheme,
+        norm_queue=result.norm_queue,
+        drop_rate=result.drop_rate,
+        utilization=result.utilization,
+        jain=result.jain,
+        mean_queue_pkts=result.mean_queue_pkts,
+        buffer_pkts=result.buffer_pkts,
+    )
+    return row
+
+
+def sweep_dumbbell(
+    points: Sequence[Dict],
+    schemes: Iterable[str] = SECTION4_SCHEMES,
+    **base_kwargs,
+) -> List[Dict]:
+    """Run every scheme at every sweep point.
+
+    *points* are dicts of :func:`run_dumbbell` keyword overrides; any
+    extra keys the runner does not accept should not appear here — tag
+    columns are added by the caller via the point values themselves.
+    """
+    rows: List[Dict] = []
+    for point in points:
+        for scheme in schemes:
+            kwargs = dict(base_kwargs)
+            kwargs.update(point)
+            result = run_dumbbell(scheme, **kwargs)
+            rows.append(result_row(result, point))
+    return rows

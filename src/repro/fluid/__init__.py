@@ -1,0 +1,46 @@
+"""Fluid-flow models and stability theory (paper Sections 5-6)."""
+
+from .dde import DdeSolution, integrate_dde
+from .pert_pi import PertPiFluidModel
+from .pert_red import PertRedFluidModel
+from .spectrum import (
+    pert_red_linearization,
+    pert_red_rightmost_root,
+    pert_red_spectral_boundary,
+    rightmost_root,
+)
+from .stability import (
+    equilibrium,
+    find_stability_boundary,
+    k_lpf,
+    l_pert,
+    min_delta,
+    omega_g,
+    pert_pi_gains,
+    scale_invariant_holds,
+    theorem1_holds,
+    trajectory_is_stable,
+)
+from .tcp_red import TcpRedFluidModel
+
+__all__ = [
+    "integrate_dde",
+    "DdeSolution",
+    "PertRedFluidModel",
+    "TcpRedFluidModel",
+    "PertPiFluidModel",
+    "l_pert",
+    "k_lpf",
+    "omega_g",
+    "theorem1_holds",
+    "min_delta",
+    "scale_invariant_holds",
+    "pert_pi_gains",
+    "equilibrium",
+    "trajectory_is_stable",
+    "find_stability_boundary",
+    "rightmost_root",
+    "pert_red_linearization",
+    "pert_red_rightmost_root",
+    "pert_red_spectral_boundary",
+]

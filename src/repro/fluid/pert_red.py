@@ -1,0 +1,142 @@
+"""Fluid model of PERT emulating RED (paper eq. 2-7 and 14).
+
+State vector (paper Section 5.3 notation):
+
+    x1 = W(t)      congestion window        [packets]
+    x2 = raw queuing-delay estimate Tq(t)   [seconds]
+    x3 = smoothed (LPF) queuing delay       [seconds]
+
+Dynamics (eq. 14):
+
+    x1' = 1/R - L * x1(t) * x1(t-R) * (x3(t-R) - T_min) / (2R)
+    x2' = N/(R*C) * x1(t) - 1
+    x3' = K * x3(t) - K * x2(t)
+
+with L = p_max / (T_max - T_min) (the RED-curve slope) and
+K = ln(alpha) / delta < 0 (the continuous-time LPF pole).
+
+``clamp=True`` restricts the emulated drop probability
+``p = L (x3 - T_min)`` to [0, 1] and the queue delay x2 to be
+non-negative — the physically meaningful variant used when trajectories
+stray far from equilibrium; the paper's linear analysis corresponds to
+``clamp=False``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .dde import DdeSolution, integrate_dde
+
+__all__ = ["PertRedFluidModel"]
+
+
+@dataclass
+class PertRedFluidModel:
+    """PERT/RED fluid model with the paper's Figure 13 defaults.
+
+    Parameters
+    ----------
+    capacity:
+        Link capacity C in packets/second.
+    n_flows:
+        Number of PERT flows N.
+    rtt:
+        Round-trip delay R in seconds (assumed constant as in Sec. 5.2).
+    p_max, t_min, t_max:
+        Emulated gentle-RED curve parameters (probability / seconds).
+    alpha:
+        LPF history weight of the srtt signal (paper: 0.99).
+    delta:
+        Sampling interval of the LPF in seconds.
+    """
+
+    capacity: float = 100.0
+    n_flows: int = 5
+    rtt: float = 0.1
+    p_max: float = 0.1
+    t_min: float = 0.05
+    t_max: float = 0.1
+    alpha: float = 0.99
+    delta: float = 1e-4
+    #: multiplicative decrease factor β of the window dynamics (eq. 3).
+    #: The paper's analysis uses 0.5 to compare against TCP/RED and notes
+    #: "results for β = 0.35 can be similarly obtained" — set 0.35 to
+    #: model PERT's actual early decrease.
+    beta_decrease: float = 0.5
+    clamp: bool = False
+    #: replace the delayed window term W(t-R) by W(t), the approximation
+    #: the paper's Section 5.3 uses to explain why the theoretical
+    #: boundary (171 ms) is slightly conservative (instability at 175 ms)
+    approximate_self_delay: bool = False
+    #: optional time-varying flow count N(t) (paper eq. 7 allows it);
+    #: when set, it overrides ``n_flows`` inside the dynamics, enabling
+    #: fluid-level studies of flow arrivals/departures (cf. Figure 12)
+    n_of_t: Optional[Callable[[float], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.n_flows <= 0 or self.rtt <= 0:
+            raise ValueError("capacity, n_flows and rtt must be positive")
+        if not 0 < self.alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if not 0 <= self.t_min < self.t_max:
+            raise ValueError("need 0 <= t_min < t_max")
+        if not 0 < self.beta_decrease < 1:
+            raise ValueError("beta_decrease must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    @property
+    def l_pert(self) -> float:
+        """Slope L_PERT = p_max / (T_max - T_min)  (paper eq. 10)."""
+        return self.p_max / (self.t_max - self.t_min)
+
+    @property
+    def k_lpf(self) -> float:
+        """LPF pole K = ln(alpha) / delta < 0  (paper eq. 10)."""
+        return math.log(self.alpha) / self.delta
+
+    def equilibrium(self) -> Tuple[float, float, float]:
+        """Stationary point (W*, p*, Tq*) generalising eq. (9).
+
+        W* = RC/N,  p* = 1/(2β·W*²)... more precisely, setting the
+        window derivative to zero gives p* = 2β'/W*² where the paper's
+        β = 0.5 recovers p* = 2N²/(R²C²); Tq* = T_min + p*/L.
+        """
+        w_star = self.rtt * self.capacity / self.n_flows
+        p_star = 1.0 / (self.beta_decrease * w_star**2)
+        tq_star = self.t_min + p_star / self.l_pert
+        return w_star, p_star, tq_star
+
+    # ------------------------------------------------------------------
+    def rhs(self, t: float, x: np.ndarray, history) -> np.ndarray:
+        r = self.rtt
+        xd = history(t - r)
+        w, tq, s = x
+        w_d = w if self.approximate_self_delay else xd[0]
+        s_d = xd[2]
+        p = self.l_pert * (s_d - self.t_min)
+        if self.clamp:
+            p = min(1.0, max(0.0, p))
+            w = max(w, 0.0)
+        dw = 1.0 / r - self.beta_decrease * p * w * w_d / r
+        n = self.n_of_t(t) if self.n_of_t is not None else self.n_flows
+        dtq = n * w / (r * self.capacity) - 1.0
+        if self.clamp and tq <= 0.0 and dtq < 0.0:
+            dtq = 0.0
+        ds = self.k_lpf * (x[2] - tq)
+        return np.array([dw, dtq, ds])
+
+    def simulate(
+        self,
+        duration: float,
+        dt: float = 1e-3,
+        x0: Optional[Tuple[float, float, float]] = None,
+        method: str = "rk4",
+    ) -> DdeSolution:
+        """Integrate the DDE from *x0* (paper Figure 13 uses (1, 1, 1))."""
+        start = np.array(x0 if x0 is not None else (1.0, 1.0, 1.0), dtype=float)
+        return integrate_dde(self.rhs, start, (0.0, duration), dt, method=method)

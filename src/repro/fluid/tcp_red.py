@@ -1,0 +1,95 @@
+"""Fluid model of router-based TCP/RED (Misra, Gong & Towsley 2000).
+
+The comparison point for the paper's Section 5.4 discussion: identical
+structure to the PERT/RED model except that
+
+* the drop probability is computed from the *queue length* (packets),
+  so the curve slope is ``L_RED = max_p / (max_th - min_th)`` per packet
+  — this is where the stability condition picks up a factor C³ instead
+  of PERT's C², and
+* the probability reaching the sender is delayed by one RTT
+  (``p(t - R)``), because marking happens at the router.
+
+State vector: x1 = W (packets), x2 = q (packets), x3 = smoothed queue
+average (packets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .dde import DdeSolution, integrate_dde
+
+__all__ = ["TcpRedFluidModel"]
+
+
+@dataclass
+class TcpRedFluidModel:
+    """TCP/RED fluid model.
+
+    ``min_th``/``max_th`` are queue-length thresholds in packets and
+    ``delta`` is RED's sampling interval (≈ 1/C at the router).
+    """
+
+    capacity: float = 100.0
+    n_flows: int = 5
+    rtt: float = 0.1
+    p_max: float = 0.1
+    min_th: float = 5.0
+    max_th: float = 10.0
+    alpha: float = 0.99
+    delta: Optional[float] = None
+    clamp: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.n_flows <= 0 or self.rtt <= 0:
+            raise ValueError("capacity, n_flows and rtt must be positive")
+        if self.delta is None:
+            # RED averages once per packet: delta ~= 1/C.
+            self.delta = 1.0 / self.capacity
+
+    @property
+    def l_red(self) -> float:
+        """Slope of RED's marking curve in probability per packet."""
+        return self.p_max / (self.max_th - self.min_th)
+
+    @property
+    def k_lpf(self) -> float:
+        return math.log(self.alpha) / self.delta
+
+    def equilibrium(self) -> Tuple[float, float, float]:
+        """(W*, p*, q*) with q* = min_th + p*/L_RED."""
+        w_star = self.rtt * self.capacity / self.n_flows
+        p_star = 2.0 * self.n_flows**2 / (self.rtt**2 * self.capacity**2)
+        q_star = self.min_th + p_star / self.l_red
+        return w_star, p_star, q_star
+
+    def rhs(self, t: float, x: np.ndarray, history) -> np.ndarray:
+        r = self.rtt
+        xd = history(t - r)
+        w, q, s = x
+        w_d, s_d = xd[0], xd[2]
+        p = self.l_red * (s_d - self.min_th)  # router marks, felt an RTT later
+        if self.clamp:
+            p = min(1.0, max(0.0, p))
+            w = max(w, 0.0)
+        dw = 1.0 / r - p * w * w_d / (2.0 * r)
+        dq = self.n_flows * w / r - self.capacity
+        if self.clamp and q <= 0.0 and dq < 0.0:
+            dq = 0.0
+        ds = self.k_lpf * (s - q)
+        return np.array([dw, dq, ds])
+
+    def simulate(
+        self,
+        duration: float,
+        dt: float = 1e-3,
+        x0: Optional[Tuple[float, float, float]] = None,
+        method: str = "rk4",
+    ) -> DdeSolution:
+        start = np.array(x0 if x0 is not None else (1.0, 1.0, 1.0), dtype=float)
+        return integrate_dde(self.rhs, start, (0.0, duration), dt, method=method)

@@ -1,0 +1,16 @@
+"""Metrics: fairness, summary statistics, histograms, time series."""
+
+from .fairness import jain_index
+from .stats import histogram_pdf, mean, percentile, stdev
+from .timeseries import moving_average, relative_error_series, settling_time
+
+__all__ = [
+    "jain_index",
+    "mean",
+    "stdev",
+    "percentile",
+    "histogram_pdf",
+    "moving_average",
+    "settling_time",
+    "relative_error_series",
+]

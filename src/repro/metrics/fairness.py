@@ -1,0 +1,28 @@
+"""Fairness metrics (Jain's index, per Chiu & Jain)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["jain_index"]
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain fairness index: (Σx)² / (n · Σx²), in (0, 1].
+
+    Equals 1 when all allocations are equal and 1/n when one user takes
+    everything.  An empty or all-zero allocation returns 0.
+    """
+    xs = [float(x) for x in allocations]
+    if not xs:
+        return 0.0
+    if any(x < 0 for x in xs):
+        raise ValueError("allocations must be non-negative")
+    mx = max(xs)
+    if mx == 0:
+        return 0.0
+    # normalize by the max so squares cannot underflow to zero
+    scaled = [x / mx for x in xs]
+    total = sum(scaled)
+    sq = sum(x * x for x in scaled)
+    return total * total / (len(scaled) * sq)

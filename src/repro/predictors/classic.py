@@ -1,0 +1,200 @@
+"""Classic delay-based congestion predictors (paper Section 2.1/2.3).
+
+Python renditions of the prediction rules of CARD, TRI-S, DUAL, Vegas
+and CIM, replayed over per-ACK traces.  Where the original schemes sample
+once per RTT, the predictors gate their own sampling on the observed RTT
+so a per-ACK trace is consumed faithfully (the paper notes this
+under-sampling is part of why these predictors score poorly).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .base import Predictor
+
+__all__ = [
+    "CardPredictor",
+    "TriSPredictor",
+    "DualPredictor",
+    "VegasPredictor",
+    "CimPredictor",
+]
+
+
+class _PerRttSampler:
+    """Mixin state: admit roughly one sample per RTT."""
+
+    def __init__(self) -> None:
+        self._next_sample_t = 0.0
+
+    def _should_sample(self, t: float, rtt: float) -> bool:
+        if t >= self._next_sample_t:
+            self._next_sample_t = t + rtt
+            return True
+        return False
+
+
+class CardPredictor(Predictor, _PerRttSampler):
+    """CARD (Jain 1989): normalized delay gradient.
+
+    Congestion is predicted when the normalized delay gradient
+
+        NDG = (rtt_i - rtt_{i-1}) / (rtt_i + rtt_{i-1})
+
+    is positive, i.e. delay is rising — the flow is past the knee.
+    """
+
+    name = "card"
+
+    def __init__(self) -> None:
+        _PerRttSampler.__init__(self)
+        self._prev_rtt: Optional[float] = None
+        self._state = False
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        if not self._should_sample(t, rtt):
+            return self._state
+        if self._prev_rtt is not None and rtt + self._prev_rtt > 0:
+            ndg = (rtt - self._prev_rtt) / (rtt + self._prev_rtt)
+            self._state = ndg > 0.0
+        self._prev_rtt = rtt
+        return self._state
+
+    def reset(self) -> None:
+        _PerRttSampler.__init__(self)
+        self._prev_rtt = None
+        self._state = False
+
+
+class TriSPredictor(Predictor, _PerRttSampler):
+    """TRI-S (Wang & Crowcroft 1991): normalized throughput gradient.
+
+    Throughput is estimated as ``cwnd / rtt``.  With a window increase,
+    the throughput should rise proportionally while the link is
+    unsaturated; congestion is predicted when the normalized throughput
+    gradient falls below ``threshold`` (originally 0.5).
+    """
+
+    name = "tri-s"
+
+    def __init__(self, threshold: float = 0.5):
+        _PerRttSampler.__init__(self)
+        self.threshold = threshold
+        self._prev_tput: Optional[float] = None
+        self._state = False
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        if not self._should_sample(t, rtt):
+            return self._state
+        tput = cwnd / rtt if rtt > 0 else 0.0
+        if self._prev_tput is not None and self._prev_tput > 0:
+            # Congestion once throughput stops growing in proportion to
+            # the window: normalized throughput gradient below threshold
+            # of the relative window growth; with per-RTT unit increases
+            # this reduces to "throughput gain at or below zero".
+            ntg = (tput - self._prev_tput) / self._prev_tput
+            self._state = ntg <= 0.0
+        self._prev_tput = tput
+        return self._state
+
+    def reset(self) -> None:
+        _PerRttSampler.__init__(self)
+        self._prev_tput = None
+        self._state = False
+
+
+class DualPredictor(Predictor, _PerRttSampler):
+    """DUAL (Wang & Crowcroft 1992): RTT above the min/max midpoint.
+
+    Predicts congestion when the current RTT sample exceeds
+    ``(rtt_min + rtt_max) / 2`` — i.e. the bottleneck queue is estimated
+    to be more than half full.
+    """
+
+    name = "dual"
+
+    def __init__(self) -> None:
+        _PerRttSampler.__init__(self)
+        self._min = float("inf")
+        self._max = 0.0
+        self._state = False
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        self._min = min(self._min, rtt)
+        self._max = max(self._max, rtt)
+        if not self._should_sample(t, rtt):
+            return self._state
+        self._state = rtt > (self._min + self._max) / 2.0
+        return self._state
+
+    def reset(self) -> None:
+        _PerRttSampler.__init__(self)
+        self._min = float("inf")
+        self._max = 0.0
+        self._state = False
+
+
+class VegasPredictor(Predictor, _PerRttSampler):
+    """Vegas (Brakmo & Peterson 1994): expected-vs-actual throughput.
+
+    The per-flow backlog estimate ``diff = cwnd * (rtt - base) / rtt``
+    exceeds ``beta`` packets ⇒ congestion predicted.  This is the best of
+    the prior predictors in the paper's Figure 3.
+    """
+
+    name = "vegas"
+
+    def __init__(self, beta: float = 3.0):
+        _PerRttSampler.__init__(self)
+        self.beta = beta
+        self._base = float("inf")
+        self._state = False
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        self._base = min(self._base, rtt)
+        if not self._should_sample(t, rtt):
+            return self._state
+        if rtt > 0:
+            backlog = cwnd * (rtt - self._base) / rtt
+            self._state = backlog > self.beta
+        return self._state
+
+    def reset(self) -> None:
+        _PerRttSampler.__init__(self)
+        self._base = float("inf")
+        self._state = False
+
+
+class CimPredictor(Predictor):
+    """CIM (Martin, Nilsson & Rhee 2003): short vs long moving average.
+
+    Congestion is predicted while the moving average of the last
+    ``short`` RTT samples exceeds the moving average of the last
+    ``long`` samples by more than ``margin`` (relative).
+    """
+
+    name = "cim"
+
+    def __init__(self, short: int = 8, long: int = 96, margin: float = 0.0):
+        if not 1 <= short < long:
+            raise ValueError("need 1 <= short < long")
+        self.short = short
+        self.long = long
+        self.margin = margin
+        self._s: Deque[float] = deque(maxlen=short)
+        self._l: Deque[float] = deque(maxlen=long)
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        self._s.append(rtt)
+        self._l.append(rtt)
+        if len(self._l) < self.long:
+            return False
+        ma_s = sum(self._s) / len(self._s)
+        ma_l = sum(self._l) / len(self._l)
+        return ma_s > ma_l * (1.0 + self.margin)
+
+    def reset(self) -> None:
+        self._s.clear()
+        self._l.clear()

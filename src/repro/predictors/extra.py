@@ -1,0 +1,103 @@
+"""Additional related-work predictors: Sync-TCP and TCP-BFA (paper §2.1).
+
+* **Sync-TCP** (Weigle, Jeffay & Smith, 2005) detects congestion from the
+  *trend* of one-way delays.  Replayed over an RTT trace, the predictor
+  smooths samples lightly and flags congestion when the recent samples
+  are predominantly increasing and the level sits above the floor.
+* **TCP-BFA** (Awadallah & Rai, 1998) monitors the *variance* of the RTT:
+  a bottleneck queue that is filling produces RTT variance far above the
+  quiet-path baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .base import Predictor
+
+__all__ = ["SyncTcpPredictor", "TcpBfaPredictor"]
+
+
+class SyncTcpPredictor(Predictor):
+    """Delay-trend predictor in the style of Sync-TCP.
+
+    Keeps the last ``window`` smoothed delay samples; congestion is
+    predicted when at least ``trend_fraction`` of consecutive differences
+    are positive *and* the newest sample exceeds the observed minimum by
+    ``margin`` (so flat noise near the floor cannot trigger it).
+    """
+
+    name = "sync-tcp"
+
+    def __init__(self, window: int = 8, trend_fraction: float = 0.6,
+                 margin: float = 0.002, smooth: float = 0.75):
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        if not 0 < trend_fraction <= 1:
+            raise ValueError("trend_fraction must be in (0, 1]")
+        self.window = window
+        self.trend_fraction = trend_fraction
+        self.margin = margin
+        self.smooth = smooth
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._ewma = None
+        self._min = float("inf")
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        self._min = min(self._min, rtt)
+        if self._ewma is None:
+            self._ewma = rtt
+        else:
+            self._ewma = self.smooth * self._ewma + (1 - self.smooth) * rtt
+        self._samples.append(self._ewma)
+        if len(self._samples) < self.window:
+            return False
+        diffs = [b - a for a, b in zip(self._samples, list(self._samples)[1:])]
+        rising = sum(1 for d in diffs if d > 0)
+        trending = rising >= self.trend_fraction * len(diffs)
+        elevated = self._samples[-1] > self._min + self.margin
+        return trending and elevated
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._ewma = None
+        self._min = float("inf")
+
+
+class TcpBfaPredictor(Predictor):
+    """RTT-variance predictor in the style of TCP-BFA.
+
+    Maintains a rolling window variance; congestion is predicted while
+    the current variance exceeds ``ratio`` times the smallest windowed
+    variance observed so far (the quiet-path baseline).
+    """
+
+    name = "tcp-bfa"
+
+    def __init__(self, window: int = 16, ratio: float = 4.0):
+        if window < 4:
+            raise ValueError("window must be >= 4")
+        if ratio <= 1:
+            raise ValueError("ratio must be > 1")
+        self.window = window
+        self.ratio = ratio
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._min_var = float("inf")
+
+    def _variance(self) -> float:
+        n = len(self._samples)
+        mean = sum(self._samples) / n
+        return sum((x - mean) ** 2 for x in self._samples) / n
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        self._samples.append(rtt)
+        if len(self._samples) < self.window:
+            return False
+        var = self._variance()
+        self._min_var = min(self._min_var, max(var, 1e-12))
+        return var > self.ratio * self._min_var
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._min_var = float("inf")

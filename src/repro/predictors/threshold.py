@@ -1,0 +1,76 @@
+"""RTT-threshold predictors: instantaneous, EWMA-smoothed, moving average.
+
+These are the signals the paper itself proposes and compares in Section
+2.4: the raw per-ACK RTT, EWMA smoothing with history weights 7/8 and
+0.99 (``srtt_0.99``, PERT's final choice), and a buffer-sized moving
+average.  Each flags congestion when its smoothed value exceeds a fixed
+threshold (the paper uses propagation delay + 5 ms in its illustration).
+"""
+
+from __future__ import annotations
+
+from ..core.srtt import EwmaRtt, MovingAverageRtt
+from .base import Predictor
+
+__all__ = [
+    "InstantRttPredictor",
+    "EwmaRttPredictor",
+    "MovingAverageRttPredictor",
+]
+
+
+class InstantRttPredictor(Predictor):
+    """Instantaneous per-ACK RTT against a fixed threshold."""
+
+    name = "instant-rtt"
+
+    def __init__(self, threshold: float):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        return rtt > self.threshold
+
+    def reset(self) -> None:
+        pass
+
+
+class EwmaRttPredictor(Predictor):
+    """EWMA-smoothed RTT against a fixed threshold.
+
+    ``weight=0.99`` gives the paper's ``srtt_0.99`` predictor;
+    ``weight=7/8`` gives the TCP-RTO-style smoother it improves upon.
+    """
+
+    def __init__(self, threshold: float, weight: float = 0.99):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.weight = weight
+        self._ewma = EwmaRtt(weight=weight)
+        self.name = f"srtt_{weight:g}"
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        return self._ewma.update(rtt) > self.threshold
+
+    def reset(self) -> None:
+        self._ewma.reset()
+
+
+class MovingAverageRttPredictor(Predictor):
+    """Sliding-window mean RTT (the paper's buffer-sized moving average)."""
+
+    def __init__(self, threshold: float, window: int = 750):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.window = window
+        self._ma = MovingAverageRtt(window=window)
+        self.name = f"ma_{window}"
+
+    def update(self, t: float, rtt: float, cwnd: float) -> bool:
+        return self._ma.update(rtt) > self.threshold
+
+    def reset(self) -> None:
+        self._ma = MovingAverageRtt(window=self.window)

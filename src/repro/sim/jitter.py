@@ -1,0 +1,59 @@
+"""Jitter link: random per-packet extra delay (causes reordering).
+
+Real paths reorder packets; delay-based end-host schemes must neither
+collapse (spurious fast retransmits) nor misread jitter as congestion.
+:class:`JitterLink` extends the store-and-forward link with a uniformly
+distributed extra propagation delay per packet, so packets can overtake
+each other in flight — the standard way to inject reordering without
+modelling parallel paths explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .engine import Simulator
+from .link import Link
+from .packet import Packet
+from .queues.base import QueueDiscipline
+
+__all__ = ["JitterLink"]
+
+
+class JitterLink(Link):
+    """Link whose propagation delay is ``delay + U(0, jitter)`` per packet.
+
+    Because each packet draws its own extra delay, a later packet can
+    arrive before an earlier one (reordering), unlike the FIFO base link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src,
+        dst,
+        bandwidth: float,
+        delay: float,
+        qdisc: QueueDiscipline,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(sim, src, dst, bandwidth, delay, qdisc)
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.jitter = jitter
+        self.rng = rng or sim.stream("jitter")
+        self.reorder_opportunities = 0
+        self._last_arrival = 0.0
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_transmitted += pkt.size
+        self.packets_transmitted += 1
+        extra = self.rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
+        arrival = self.sim.now + self.delay + extra
+        if arrival < self._last_arrival:
+            self.reorder_opportunities += 1
+        self._last_arrival = max(self._last_arrival, arrival)
+        self.sim.schedule_at(arrival, self.dst.receive, pkt)
+        self._start_next()

@@ -1,0 +1,103 @@
+"""Unidirectional store-and-forward link.
+
+Each link owns a queue discipline and a transmitter.  Arriving packets are
+offered to the queue; the transmitter drains it one packet at a time,
+charging the serialization delay ``size * 8 / bandwidth`` and then the
+propagation delay before handing the packet to the downstream node.  A
+duplex connection between two nodes is simply two :class:`Link` objects,
+which is how the paper's topologies carry reverse-path ACK traffic through
+their own (droppable) queues.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .engine import Simulator
+from .packet import Packet
+from .queues.base import QueueDiscipline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One-way link: ``src -> dst`` with a queue at the sending side.
+
+    Parameters
+    ----------
+    bandwidth:
+        Line rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    qdisc:
+        Queue discipline instance guarding the transmitter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        bandwidth: float,
+        delay: float,
+        qdisc: QueueDiscipline,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.qdisc = qdisc
+        self._busy = False
+        self.bytes_transmitted = 0
+        self.packets_transmitted = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> None:
+        """Offer *pkt* to this link's queue and kick the transmitter."""
+        accepted = self.qdisc.enqueue(pkt, self.sim.now)
+        if accepted and not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        pkt = self.qdisc.dequeue(self.sim.now)
+        if pkt is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = pkt.size * 8.0 / self.bandwidth
+        self.busy_time += tx_time
+        self.sim.schedule(tx_time, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_transmitted += pkt.size
+        self.packets_transmitted += 1
+        self.sim.schedule(self.delay, self.dst.receive, pkt)
+        self._start_next()
+
+    # ------------------------------------------------------------------
+    def utilization(self, duration: float, since_bytes: int = 0) -> float:
+        """Fraction of capacity used over *duration* seconds.
+
+        ``since_bytes`` subtracts a byte-counter snapshot so callers can
+        measure a window (e.g. the paper's steady-state 100-300 s slice).
+        """
+        if duration <= 0:
+            return 0.0
+        used = (self.bytes_transmitted - since_bytes) * 8.0
+        return min(1.0, used / (self.bandwidth * duration))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.src.node_id}->{self.dst.node_id} "
+            f"{self.bandwidth/1e6:.1f}Mbps {self.delay*1e3:.1f}ms "
+            f"q={len(self.qdisc)}>"
+        )

@@ -1,0 +1,169 @@
+"""Measurement instruments: queue samplers, window counters, drop logs.
+
+These are deliberately passive — they observe queues and links without
+perturbing the simulation — and they support the paper's measurement
+style: steady-state metrics over a window (the paper measures 100-300 s of
+a 400 s run) and time series for the dynamic-behaviour experiment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from .engine import Simulator
+from .link import Link
+from .packet import Packet
+from .queues.base import QueueDiscipline
+
+__all__ = ["QueueSampler", "DropLog", "LinkWindow", "ThroughputSampler"]
+
+
+class QueueSampler:
+    """Periodically samples a queue's instantaneous length.
+
+    Provides nearest-sample lookup by time, which the predictor analysis
+    uses to ask "how full was the bottleneck queue when the end host saw a
+    false positive?" (Figure 4 of the paper).
+    """
+
+    def __init__(self, sim: Simulator, qdisc: QueueDiscipline, interval: float = 0.01):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.qdisc = qdisc
+        self.interval = interval
+        self.times: List[float] = []
+        self.lengths: List[int] = []
+        sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        self.times.append(self.sim.now)
+        self.lengths.append(len(self.qdisc))
+        self.sim.schedule(self.interval, self._tick)
+
+    def length_at(self, t: float) -> int:
+        """Queue length at the sample nearest to time *t*."""
+        if not self.times:
+            return 0
+        i = bisect.bisect_left(self.times, t)
+        if i <= 0:
+            return self.lengths[0]
+        if i >= len(self.times):
+            return self.lengths[-1]
+        before, after = self.times[i - 1], self.times[i]
+        return self.lengths[i - 1] if t - before <= after - t else self.lengths[i]
+
+    def mean(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean sampled queue length over [start, end]."""
+        end = end if end is not None else float("inf")
+        vals = [q for t, q in zip(self.times, self.lengths) if start <= t <= end]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+class DropLog:
+    """Records the time (and flow) of every drop at a queue."""
+
+    def __init__(self, qdisc: QueueDiscipline):
+        self.events: List[Tuple[float, int]] = []
+        qdisc.drop_listeners.append(self._on_drop)
+
+    def _on_drop(self, pkt: Packet, now: float) -> None:
+        self.events.append((now, pkt.flow_id))
+
+    def times(self, flow_id: Optional[int] = None) -> List[float]:
+        """Drop timestamps, optionally restricted to one flow."""
+        if flow_id is None:
+            return [t for t, _ in self.events]
+        return [t for t, f in self.events if f == flow_id]
+
+    def count(self, start: float = 0.0, end: float = float("inf")) -> int:
+        return sum(1 for t, _ in self.events if start <= t <= end)
+
+
+class LinkWindow:
+    """Snapshot-based measurement window over a link and its queue.
+
+    Open it at the start of the steady-state period, close it at the end;
+    it then reports utilization, drop rate and arrivals over that window
+    only, matching the paper's 100-300 s measurement methodology.
+    """
+
+    def __init__(self, sim: Simulator, link: Link):
+        self.sim = sim
+        self.link = link
+        self._open_t: Optional[float] = None
+        self._close_t: Optional[float] = None
+        self._bytes0 = 0
+        self._drops0 = 0
+        self._arrivals0 = 0
+        self._marks0 = 0
+
+    def open(self) -> None:
+        self._open_t = self.sim.now
+        self._bytes0 = self.link.bytes_transmitted
+        self._drops0 = self.link.qdisc.stats.drops
+        self._arrivals0 = self.link.qdisc.stats.arrivals
+        self._marks0 = self.link.qdisc.stats.marks
+
+    def close(self) -> None:
+        if self._open_t is None:
+            raise RuntimeError("window was never opened")
+        self._close_t = self.sim.now
+
+    def _require_closed(self) -> float:
+        if self._open_t is None or self._close_t is None:
+            raise RuntimeError("window must be opened and closed first")
+        return self._close_t - self._open_t
+
+    @property
+    def duration(self) -> float:
+        return self._require_closed()
+
+    @property
+    def utilization(self) -> float:
+        dur = self._require_closed()
+        if dur <= 0:
+            return 0.0
+        used = (self.link.bytes_transmitted - self._bytes0) * 8.0
+        return min(1.0, used / (self.link.bandwidth * dur))
+
+    @property
+    def drop_rate(self) -> float:
+        self._require_closed()
+        arrivals = self.link.qdisc.stats.arrivals - self._arrivals0
+        drops = self.link.qdisc.stats.drops - self._drops0
+        return drops / arrivals if arrivals else 0.0
+
+    @property
+    def mark_rate(self) -> float:
+        self._require_closed()
+        arrivals = self.link.qdisc.stats.arrivals - self._arrivals0
+        marks = self.link.qdisc.stats.marks - self._marks0
+        return marks / arrivals if arrivals else 0.0
+
+
+class ThroughputSampler:
+    """Per-interval byte counts from a monotone counter callback.
+
+    Used by the dynamic-behaviour experiment (Figure 12) to plot aggregate
+    cohort throughput over time.
+    """
+
+    def __init__(self, sim: Simulator, counter_fn, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.counter_fn = counter_fn
+        self.interval = interval
+        self.times: List[float] = []
+        self.rates_bps: List[float] = []
+        self._last = counter_fn()
+        sim.schedule(interval, self._tick)
+
+    def _tick(self) -> None:
+        cur = self.counter_fn()
+        self.times.append(self.sim.now)
+        self.rates_bps.append((cur - self._last) * 8.0 / self.interval)
+        self._last = cur
+        self.sim.schedule(self.interval, self._tick)

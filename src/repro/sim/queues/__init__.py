@@ -1,0 +1,16 @@
+"""Queue disciplines: DropTail, RED (gentle/adaptive, ECN), PI and REM AQM."""
+
+from .base import QueueDiscipline, QueueStats
+from .droptail import DropTailQueue
+from .pi import PiQueue
+from .red import RedQueue
+from .rem import RemQueue
+
+__all__ = [
+    "QueueDiscipline",
+    "QueueStats",
+    "DropTailQueue",
+    "RedQueue",
+    "PiQueue",
+    "RemQueue",
+]

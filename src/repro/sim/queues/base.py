@@ -1,0 +1,163 @@
+"""Queue-discipline interface and shared bookkeeping.
+
+A :class:`QueueDiscipline` sits at the head of each unidirectional link and
+decides, per arriving packet, whether to enqueue, mark (ECN), or drop.  All
+disciplines keep uniform statistics so the experiment harness can compute
+drop rates and time-averaged queue lengths without knowing which AQM is in
+use.
+
+Queue capacity is expressed in *packets*, matching the paper (e.g. the
+750-packet queues of Section 2.2) and ns-2's default byte-agnostic queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..packet import Packet
+
+__all__ = ["QueueDiscipline", "QueueStats"]
+
+
+class QueueStats:
+    """Counters shared by every queue discipline."""
+
+    __slots__ = (
+        "arrivals",
+        "enqueues",
+        "drops",
+        "forced_drops",
+        "early_drops",
+        "marks",
+        "departures",
+        "bytes_in",
+        "bytes_out",
+        "_q_integral",
+        "_last_change",
+    )
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.enqueues = 0
+        self.drops = 0
+        self.forced_drops = 0  # buffer-overflow drops
+        self.early_drops = 0  # AQM probabilistic drops
+        self.marks = 0  # ECN CE marks
+        self.departures = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self._q_integral = 0.0  # ∫ q(t) dt, for the time-averaged queue
+        self._last_change = 0.0
+
+    def account(self, now: float, qlen: int) -> None:
+        """Accumulate the queue-length integral up to *now*."""
+        if now > self._last_change:
+            self._q_integral += qlen * (now - self._last_change)
+            self._last_change = now
+
+    def mean_queue(self, now: float, qlen: int) -> float:
+        """Time-averaged queue length in packets over [0, now]."""
+        self.account(now, qlen)
+        return self._q_integral / now if now > 0 else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of arriving packets dropped."""
+        return self.drops / self.arrivals if self.arrivals else 0.0
+
+
+class QueueDiscipline:
+    """Base class: a FIFO buffer plus an admission policy.
+
+    Subclasses override :meth:`admit` to implement AQM.  ``admit`` returns
+    one of ``"enqueue"``, ``"mark"`` (enqueue with CE set) or ``"drop"``.
+    """
+
+    def __init__(self, capacity_pkts: int, capacity_bytes: Optional[int] = None):
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be >= 1 packet")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("byte capacity must be >= 1")
+        self.capacity = capacity_pkts
+        #: optional additional byte bound (ns-2's byte-mode queues)
+        self.capacity_bytes = capacity_bytes
+        self._buf: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+        #: callbacks invoked as ``fn(pkt, now)`` whenever a packet is
+        #: dropped here — used to correlate queue-level losses with
+        #: end-host RTT signals (Figure 2 of the paper).
+        self.drop_listeners = []
+
+    # -- admission policy -------------------------------------------------
+    def is_full_for(self, pkt: Packet) -> bool:
+        """True if admitting *pkt* would exceed the packet or byte bound."""
+        if len(self._buf) >= self.capacity:
+            return True
+        if self.capacity_bytes is not None:
+            return self._bytes + pkt.size > self.capacity_bytes
+        return False
+
+    def admit(self, pkt: Packet, now: float) -> str:
+        """Decide the fate of an arriving packet (default: tail drop)."""
+        if self.is_full_for(pkt):
+            return "drop"
+        return "enqueue"
+
+    # -- mechanics ---------------------------------------------------------
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Offer *pkt* to the queue; returns True if it was accepted."""
+        self.stats.account(now, len(self._buf))
+        self.stats.arrivals += 1
+        verdict = self.admit(pkt, now)
+        if verdict == "drop" or (verdict != "enqueue" and verdict != "mark"):
+            if verdict not in ("drop", "enqueue", "mark"):
+                raise ValueError(f"bad admit() verdict {verdict!r}")
+            self.stats.drops += 1
+            if self.is_full_for(pkt):
+                self.stats.forced_drops += 1
+            else:
+                self.stats.early_drops += 1
+            for fn in self.drop_listeners:
+                fn(pkt, now)
+            return False
+        if verdict == "mark":
+            # Sanity: admit() must only mark ECN-capable packets.
+            pkt.ce = True
+            self.stats.marks += 1
+        pkt.enqueue_time = now
+        self._buf.append(pkt)
+        self._bytes += pkt.size
+        self.stats.enqueues += 1
+        self.stats.bytes_in += pkt.size
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or ``None``."""
+        if not self._buf:
+            return None
+        self.stats.account(now, len(self._buf))
+        pkt = self._buf.popleft()
+        self._bytes -= pkt.size
+        self.stats.departures += 1
+        self.stats.bytes_out += pkt.size
+        return pkt
+
+    # -- inspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._buf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {len(self._buf)}/{self.capacity} pkts "
+            f"drops={self.stats.drops} marks={self.stats.marks}>"
+        )

@@ -1,0 +1,19 @@
+"""DropTail (tail-drop FIFO) queue — the paper's baseline router buffer."""
+
+from __future__ import annotations
+
+from .base import QueueDiscipline
+
+__all__ = ["DropTailQueue"]
+
+
+class DropTailQueue(QueueDiscipline):
+    """Plain FIFO that drops arrivals once the buffer is full.
+
+    This is the default router behaviour against which SACK, Vegas and
+    PERT are evaluated in Section 4 of the paper.
+    """
+
+    # The base-class admit() already implements tail drop; the subclass
+    # exists so topology code can name the policy explicitly.
+    pass

@@ -1,0 +1,106 @@
+"""Random Exponential Marking (REM) queue.
+
+Implements REM (Athuraliya, Low, Li & Yin, IEEE Network 2001) — cited by
+the paper as one of the binary-feedback AQM schemes ([2]).  REM keeps a
+*price* per link that integrates the mismatch between demand and
+capacity, and marks with probability
+
+    p = 1 - phi^(-price)
+
+so that end-to-end marking probability composes multiplicatively over a
+path.  The price update each period T is
+
+    price <- max(0, price + gamma * (alpha * (q - q_ref) + q - q_prev))
+
+(the ``q - q_prev`` term approximates rate mismatch by queue growth).
+
+Included both as an additional router baseline and as the template for
+the end-host REM emulation (:class:`repro.core.response.RemResponse`),
+demonstrating the paper's claim that PERT generalises to other AQMs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..engine import Simulator
+from ..packet import Packet
+from .base import QueueDiscipline
+
+__all__ = ["RemQueue"]
+
+
+class RemQueue(QueueDiscipline):
+    """REM AQM queue.
+
+    Parameters
+    ----------
+    q_ref:
+        Target queue length in packets (REM's ``b*``).
+    gamma:
+        Price adaptation gain (REM default 0.001).
+    alpha:
+        Weight of the queue-offset term (REM default 0.1).
+    phi:
+        Exponential base (> 1; REM default 1.001).
+    sample_hz:
+        Price update frequency.
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        q_ref: float = 20.0,
+        gamma: float = 0.001,
+        alpha: float = 0.1,
+        phi: float = 1.001,
+        sample_hz: float = 170.0,
+        ecn: bool = True,
+        sim: Optional[Simulator] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(capacity_pkts)
+        if phi <= 1.0:
+            raise ValueError("phi must be > 1")
+        if q_ref < 0 or gamma <= 0:
+            raise ValueError("q_ref must be >= 0 and gamma > 0")
+        self.q_ref = q_ref
+        self.gamma = gamma
+        self.alpha = alpha
+        self.phi = phi
+        self.period = 1.0 / sample_hz
+        self.ecn = ecn
+        self.rng = rng or random.Random(0x4E4)
+        self.price = 0.0
+        self._q_prev = 0.0
+        if sim is not None:
+            self._attach(sim)
+
+    def _attach(self, sim: Simulator) -> None:
+        def tick() -> None:
+            self.update()
+            sim.schedule(self.period, tick)
+
+        sim.schedule(self.period, tick)
+
+    def update(self) -> float:
+        """One price step; returns the resulting mark probability."""
+        q = float(len(self._buf))
+        mismatch = self.alpha * (q - self.q_ref) + (q - self._q_prev)
+        self.price = max(0.0, self.price + self.gamma * mismatch)
+        self._q_prev = q
+        return self.mark_probability()
+
+    def mark_probability(self) -> float:
+        """REM's exponential law: 1 - phi^(-price)."""
+        return 1.0 - self.phi ** (-self.price)
+
+    def admit(self, pkt: Packet, now: float) -> str:
+        if self.is_full_for(pkt):
+            return "drop"
+        if self.rng.random() < self.mark_probability():
+            if self.ecn and pkt.ect:
+                return "mark"
+            return "drop"
+        return "enqueue"

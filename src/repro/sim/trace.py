@@ -1,0 +1,72 @@
+"""Flow tracing: periodic sampling of sender state time series.
+
+A :class:`FlowTracer` samples a sender's congestion window, slow-start
+threshold and smoothed RTT on a fixed grid — the raw material for
+cwnd-evolution plots (and for eyeballing PERT's gentle sawtooth against
+standard TCP's deep loss-driven one).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .engine import Simulator
+
+__all__ = ["FlowTracer", "ascii_series"]
+
+
+class FlowTracer:
+    """Samples ``(time, cwnd, ssthresh, srtt)`` every *interval* seconds."""
+
+    def __init__(self, sim: Simulator, sender, interval: float = 0.1,
+                 start: float = 0.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.sender = sender
+        self.interval = interval
+        self.times: List[float] = []
+        self.cwnd: List[float] = []
+        self.ssthresh: List[float] = []
+        self.srtt: List[Optional[float]] = []
+        sim.schedule(max(0.0, start - sim.now), self._tick)
+
+    def _tick(self) -> None:
+        self.times.append(self.sim.now)
+        self.cwnd.append(self.sender.cwnd)
+        self.ssthresh.append(self.sender.ssthresh)
+        self.srtt.append(self.sender.srtt)
+        self.sim.schedule(self.interval, self._tick)
+
+    def cwnd_stats(self) -> dict:
+        """Mean, min, max and peak-to-trough ratio of the cwnd series."""
+        if not self.cwnd:
+            return {"mean": 0.0, "min": 0.0, "max": 0.0, "swing": 0.0}
+        lo, hi = min(self.cwnd), max(self.cwnd)
+        return {
+            "mean": sum(self.cwnd) / len(self.cwnd),
+            "min": lo,
+            "max": hi,
+            "swing": hi / lo if lo > 0 else float("inf"),
+        }
+
+
+def ascii_series(values, width: int = 64, height: int = 10,
+                 label: str = "") -> str:
+    """Render a numeric series as a small ASCII plot (for examples/CLI)."""
+    vals = [float(v) for v in values if v is not None]
+    if not vals:
+        return f"{label}(no data)"
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    step = max(1, len(vals) // width)
+    cols = vals[::step][:width]
+    lines = []
+    if label:
+        lines.append(label)
+    for level in range(height, -1, -1):
+        thresh = lo + span * level / height
+        row = "".join("*" if v >= thresh else " " for v in cols)
+        lines.append(f"{thresh:9.2f} |{row}")
+    lines.append(" " * 11 + "-" * len(cols))
+    return "\n".join(lines)

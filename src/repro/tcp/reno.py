@@ -1,0 +1,35 @@
+"""NewReno TCP (no SACK) — an additional loss-based reference stack.
+
+The paper's baselines use SACK, but the Section 2 measurement studies it
+revisits ([21], [26]) collected standard-TCP traces; having a NewReno
+sender lets the predictor experiments be replayed over non-SACK dynamics
+as well.  NewReno is realised on top of the base scoreboard machinery by
+ignoring SACK blocks entirely: loss inference comes only from duplicate
+ACKs and partial ACKs.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import TcpSender
+
+__all__ = ["NewRenoSender"]
+
+
+class NewRenoSender(TcpSender):
+    """NewReno: dupack-driven fast retransmit with partial-ACK repair."""
+
+    def _process_sack(self, pkt: Packet) -> None:
+        # NewReno receivers still send dupacks; SACK information is ignored.
+        pass
+
+    def _mark_losses(self) -> None:
+        pass
+
+    @property
+    def pipe(self) -> int:
+        # Without SACK, each duplicate ACK is the only evidence that a
+        # packet has left the network — the classical window-inflation
+        # trick expressed as a pipe estimate.
+        window = self.high_water - self.cum_ack
+        return max(0, window - self.dupacks - len(self.lost) + len(self.rtx_out))

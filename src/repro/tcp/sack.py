@@ -1,0 +1,28 @@
+"""Named TCP variants used as the paper's baselines.
+
+``SackSender`` is the plain loss-based SACK TCP run over DropTail queues;
+``SackEcnSender`` is the same stack with ECN negotiated, paired with RED
+(the paper's "SACK/RED-ECN" baseline).
+"""
+
+from __future__ import annotations
+
+from .base import TcpSender
+
+__all__ = ["SackSender", "SackEcnSender"]
+
+
+class SackSender(TcpSender):
+    """Loss-based SACK TCP (the paper's "SACK/DropTail" baseline)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("ecn", False)
+        super().__init__(*args, **kwargs)
+
+
+class SackEcnSender(TcpSender):
+    """ECN-enabled SACK TCP (the paper's "SACK/RED-ECN" baseline)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["ecn"] = True
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,90 @@
+"""TCP Vegas (Brakmo & Peterson, SIGCOMM 1994).
+
+Vegas is both a baseline protocol in the paper's Section 4 evaluation and
+the best of the prior congestion *predictors* in Section 2.  Its window
+adjustment compares achieved to expected throughput:
+
+    diff = (cwnd / base_rtt - cwnd / rtt) * base_rtt        [packets]
+
+Once per RTT, the window is increased by one if ``diff < alpha``,
+decreased by one if ``diff > beta``, and held otherwise.  During slow
+start the window doubles only every *other* RTT and Vegas falls out of
+slow start as soon as ``diff > gamma``.
+
+The paper attributes Vegas' queue build-up (Figures 6 and 8) to its goal
+of keeping ``alpha``–``beta`` packets queued per flow; with many flows
+this sums to a large standing queue — reproducing that behaviour is part
+of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.packet import Packet
+from .base import TcpSender
+
+__all__ = ["VegasSender"]
+
+
+class VegasSender(TcpSender):
+    """TCP Vegas sender.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Lower/upper bounds on the per-flow backlog estimate (packets);
+        ns-2 defaults 1 and 3.
+    gamma:
+        Slow-start exit threshold (packets).
+    """
+
+    def __init__(self, *args, alpha: float = 1.0, beta: float = 3.0,
+                 gamma: float = 1.0, **kwargs):
+        kwargs.setdefault("ecn", False)
+        super().__init__(*args, **kwargs)
+        if not 0 <= alpha <= beta:
+            raise ValueError("need 0 <= alpha <= beta")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self._epoch_end = 0.0  # next per-RTT adjustment time
+        self._ss_grow_this_epoch = True  # double every other RTT
+
+    # ------------------------------------------------------------------
+    def _diff_packets(self, rtt: float) -> Optional[float]:
+        """Vegas backlog estimate in packets, or None before any sample."""
+        if self.min_rtt == float("inf") or rtt <= 0:
+            return None
+        expected = self.cwnd / self.min_rtt
+        actual = self.cwnd / rtt
+        return (expected - actual) * self.min_rtt
+
+    def _increase_on_ack(self) -> None:
+        # Vegas replaces per-ACK growth with a per-RTT decision in on_ack;
+        # during slow start the doubling is also gated there.
+        pass
+
+    def on_ack(self, pkt: Packet, rtt_sample: Optional[float]) -> None:
+        rtt = rtt_sample if rtt_sample is not None else self.last_rtt
+        if rtt is None or self.sim.now < self._epoch_end:
+            return
+        self._epoch_end = self.sim.now + rtt
+        diff = self._diff_packets(rtt)
+        if diff is None:
+            return
+        if self.cwnd < self.ssthresh:  # slow start, Vegas-style
+            if diff > self.gamma:
+                # Leave slow start: back off by 1/8 and switch to CA.
+                self.ssthresh = max(2.0, self.cwnd - 1.0)
+                self.cwnd = max(2.0, self.cwnd * 7.0 / 8.0)
+            elif self._ss_grow_this_epoch:
+                self.cwnd = min(self.cwnd * 2.0, self.max_cwnd)
+                self._ss_grow_this_epoch = False
+            else:
+                self._ss_grow_this_epoch = True
+            return
+        if diff < self.alpha:
+            self.cwnd = min(self.cwnd + 1.0, self.max_cwnd)
+        elif diff > self.beta:
+            self.cwnd = max(2.0, self.cwnd - 1.0)

@@ -1,0 +1,14 @@
+"""Traffic generators: long-lived flows, web sessions, CBR sources."""
+
+from .cbr import CbrSink, CbrSource
+from .ftp import start_long_flows
+from .web import WebSession, bounded_pareto, start_web_sessions
+
+__all__ = [
+    "start_long_flows",
+    "WebSession",
+    "start_web_sessions",
+    "bounded_pareto",
+    "CbrSource",
+    "CbrSink",
+]

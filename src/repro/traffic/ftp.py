@@ -1,0 +1,55 @@
+"""Long-lived ("FTP") flow population helpers.
+
+The paper's background load is a set of long-term flows whose start
+times are drawn uniformly from an interval (0-50 s in the paper) so that
+late starters exercise the fairness concerns of Section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple, Type
+
+from ..sim.engine import Simulator
+from ..sim.node import Node
+from ..tcp.base import TcpSender, TcpSink, connect_flow
+
+__all__ = ["start_long_flows"]
+
+
+def start_long_flows(
+    sim: Simulator,
+    pairs: List[Tuple[Node, Node]],
+    flow_ids: Iterator[int],
+    sender_cls: Type[TcpSender] = TcpSender,
+    start_window: float = 5.0,
+    rng: Optional[random.Random] = None,
+    record_rtt_flow_index: Optional[int] = None,
+    **sender_kwargs,
+) -> List[Tuple[TcpSender, TcpSink]]:
+    """Start one infinite flow per (src, dst) pair at a random time.
+
+    Parameters
+    ----------
+    pairs:
+        Source/destination host pairs, one long flow each.
+    flow_ids:
+        Iterator yielding unique flow ids (share one across all traffic).
+    start_window:
+        Start times are uniform in [0, start_window).
+    record_rtt_flow_index:
+        If given, that flow records its per-ACK RTT trace (the paper's
+        "observed" flow of Section 2).
+    """
+    rng = rng or sim.stream("ftp-starts")
+    flows: List[Tuple[TcpSender, TcpSink]] = []
+    for idx, (src, dst) in enumerate(pairs):
+        fid = next(flow_ids)
+        record = record_rtt_flow_index is not None and idx == record_rtt_flow_index
+        sender, sink = connect_flow(
+            sim, src, dst, flow_id=fid, sender_cls=sender_cls,
+            record_rtt=record, **sender_kwargs,
+        )
+        sender.start(at=rng.uniform(0.0, start_window))
+        flows.append((sender, sink))
+    return flows

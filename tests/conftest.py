@@ -1,0 +1,49 @@
+"""Shared test fixtures: small topologies and flow helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import Dumbbell
+from repro.tcp.base import TcpSender, connect_flow
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+def make_dumbbell(
+    sim: Simulator,
+    n: int = 2,
+    bw: float = 8e6,
+    delay: float = 0.01,
+    buffer_pkts: int = 50,
+    qdisc_factory=None,
+):
+    """Small dumbbell used across TCP/integration tests."""
+    factory = qdisc_factory or (lambda: DropTailQueue(capacity_pkts=buffer_pkts))
+    return Dumbbell(
+        sim,
+        n_left=n,
+        n_right=n,
+        bottleneck_bw=bw,
+        bottleneck_delay=delay,
+        qdisc_fwd=factory,
+        qdisc_rev=factory,
+    )
+
+
+def make_flow(sim, db, idx=0, sender_cls=TcpSender, **kwargs):
+    """One flow across the dumbbell; returns (sender, sink)."""
+    return connect_flow(
+        sim, db.left[idx], db.right[idx], flow_id=1000 + idx,
+        sender_cls=sender_cls, **kwargs,
+    )
+
+
+@pytest.fixture
+def dumbbell(sim):
+    return make_dumbbell(sim)

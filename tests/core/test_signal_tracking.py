@@ -1,0 +1,79 @@
+"""Does PERT's delay signal actually track the bottleneck queue?
+
+The scheme's premise is that srtt − min RTT estimates the path's queuing
+delay; these tests close the loop by comparing the estimate against the
+queue the simulator actually holds.
+"""
+
+import pytest
+
+from repro.core.pert import PertSender
+from repro.sim.engine import Simulator
+from repro.sim.monitors import QueueSampler
+from repro.tcp.sack import SackSender
+
+from ..conftest import make_dumbbell, make_flow
+
+BW = 8e6
+PKT_TIME = 1000 * 8.0 / BW  # seconds per packet at the bottleneck
+
+
+def run_tagged(sender_cls, buffer_pkts=80, until=25.0):
+    sim = Simulator(seed=8)
+    db = make_dumbbell(sim, n=3, bw=BW, buffer_pkts=buffer_pkts)
+    tagged = None
+    for i in range(3):
+        s, _ = make_flow(sim, db, idx=i,
+                         sender_cls=PertSender if i == 0 else sender_cls)
+        if i == 0:
+            tagged = s
+            tagged.record_signal = True
+        s.start(at=0.2 * i)
+    sampler = QueueSampler(sim, db.bottleneck_queue, interval=0.02)
+    sim.run(until=until)
+    return tagged, sampler
+
+
+def test_signal_tracks_actual_queuing_delay():
+    tagged, sampler = run_tagged(SackSender)
+    # compare the smoothed estimate against the sampled queue, converted
+    # to delay, over the steady half of the run
+    errs = []
+    for t, srtt, _prob in tagged.signal_trace:
+        if t < 10.0:
+            continue
+        actual = sampler.length_at(t) * PKT_TIME
+        estimate = srtt - tagged.signal.min_rtt
+        errs.append(abs(estimate - actual))
+    assert errs
+    mean_err = sum(errs) / len(errs)
+    # the estimate is a heavily smoothed, RTT-delayed observation of a
+    # moving target; agreement within ~20 ms at this scale means it is
+    # genuinely tracking the queue rather than noise
+    assert mean_err < 0.020
+
+
+def test_probability_zero_on_idle_path_positive_under_load():
+    """srtt_0.99 smooths over instantaneous wiggles by design; what must
+    hold is the *sustained* contrast: ~zero response probability on an
+    uncongested path, clearly positive probability under standing load."""
+
+    def run(max_cwnd):
+        sim = Simulator(seed=8)
+        db = make_dumbbell(sim, n=3, bw=BW, buffer_pkts=80)
+        tagged = None
+        for i in range(3):
+            s, _ = make_flow(sim, db, idx=i, sender_cls=PertSender,
+                             max_cwnd=max_cwnd)
+            if i == 0:
+                tagged = s
+                tagged.record_signal = True
+            s.start(at=0.2 * i)
+        sim.run(until=20.0)
+        probs = [p for t, _s, p in tagged.signal_trace if t > 10.0]
+        return sum(probs) / len(probs)
+
+    idle_prob = run(max_cwnd=5.0)  # 3 flows x 5 pkts << BDP: no queue
+    loaded_prob = run(max_cwnd=1e9)
+    assert idle_prob < 0.005
+    assert loaded_prob > 10 * max(idle_prob, 1e-4)

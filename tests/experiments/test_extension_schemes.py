@@ -1,0 +1,27 @@
+"""Harness tests for the extension schemes (pert-owd, pert-rem)."""
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+
+KW = dict(bandwidth=8e6, rtt=0.06, n_fwd=6, duration=25.0, warmup=10.0,
+          seed=4)
+
+
+@pytest.mark.parametrize("scheme", ["pert-owd", "pert-rem"])
+def test_extension_scheme_controls_queue(scheme):
+    r = run_dumbbell(scheme, **KW)
+    assert r.drop_rate < 5e-3
+    assert r.utilization > 0.85
+    assert r.norm_queue < 0.5
+    assert r.early_responses > 0
+    assert r.jain > 0.9
+
+
+def test_extension_schemes_match_pert_behaviour():
+    pert = run_dumbbell("pert", **KW)
+    owd = run_dumbbell("pert-owd", **KW)
+    # the one-way-delay variant behaves like RTT-PERT on a clean
+    # reverse path (same forward congestion information)
+    assert abs(owd.norm_queue - pert.norm_queue) < 0.2
+    assert owd.utilization > pert.utilization - 0.1

@@ -1,0 +1,22 @@
+"""Harness tests for the NewReno reference stack."""
+
+from repro.experiments.common import run_dumbbell
+from repro.experiments.section2 import TrafficCase, collect_case_trace
+
+
+def test_newreno_runs_in_harness():
+    r = run_dumbbell("newreno-droptail", bandwidth=8e6, n_fwd=4,
+                     duration=20.0, warmup=8.0, seed=5)
+    assert r.utilization > 0.8
+    assert 0 <= r.drop_rate < 0.1
+    assert r.jain > 0.8
+
+
+def test_section2_traces_collectable_over_newreno():
+    """The paper's measurement studies observed standard (non-SACK) TCP;
+    the predictor pipeline must also work over NewReno traces."""
+    case = TrafficCase("nr", n_fwd=6, n_rev=2, web_sessions=2)
+    tr = collect_case_trace(case, bandwidth=8e6, duration=25.0, warmup=8.0,
+                            seed=5, scheme="newreno-droptail")
+    assert len(tr.rtt_trace) > 100
+    assert tr.queue_drops  # droptail under load does drop

@@ -1,0 +1,44 @@
+"""Tests for the generalized decrease factor β (paper Sec. 5.1 remark)."""
+
+import pytest
+
+from repro.fluid.pert_red import PertRedFluidModel
+from repro.fluid.spectrum import pert_red_spectral_boundary
+
+FIG13 = dict(capacity=100.0, n_flows=5, p_max=0.1, t_min=0.05, t_max=0.1,
+             alpha=0.99, delta=1e-4)
+
+
+def test_equilibrium_recovers_eq9_at_half():
+    m = PertRedFluidModel(rtt=0.1, beta_decrease=0.5, **FIG13)
+    w, p, _ = m.equilibrium()
+    assert p == pytest.approx(2.0 * 25 / (0.01 * 10000))  # 2N^2/(RC)^2
+
+
+def test_equilibrium_probability_scales_inversely_with_beta():
+    p_05 = PertRedFluidModel(rtt=0.1, beta_decrease=0.5, **FIG13).equilibrium()[1]
+    p_035 = PertRedFluidModel(rtt=0.1, beta_decrease=0.35, **FIG13).equilibrium()[1]
+    assert p_035 == pytest.approx(p_05 * 0.5 / 0.35)
+
+
+def test_trajectory_converges_to_beta_equilibrium():
+    m = PertRedFluidModel(rtt=0.1, beta_decrease=0.35, **FIG13)
+    sol = m.simulate(duration=40.0, dt=2e-3)
+    w_star, _, tq_star = m.equilibrium()
+    assert sol.y[-1, 0] == pytest.approx(w_star, rel=0.02)
+    assert sol.y[-1, 2] == pytest.approx(tq_star, rel=0.05)
+
+
+def test_gentler_decrease_widens_stability_region():
+    """PERT's 35 % decrease is *more* stable than halving — the paper's
+    design choice (Sec. 3) also helps the control loop."""
+    b_half = pert_red_spectral_boundary(0.1, 0.25, beta_decrease=0.5, **FIG13)
+    b_pert = pert_red_spectral_boundary(0.1, 0.3, beta_decrease=0.35, **FIG13)
+    assert b_pert > b_half
+
+
+def test_beta_validation():
+    with pytest.raises(ValueError):
+        PertRedFluidModel(beta_decrease=0.0)
+    with pytest.raises(ValueError):
+        PertRedFluidModel(beta_decrease=1.0)

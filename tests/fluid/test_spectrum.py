@@ -1,0 +1,122 @@
+"""Unit tests for the spectral (Chebyshev) DDE stability analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fluid.pert_red import PertRedFluidModel
+from repro.fluid.spectrum import (
+    cheb,
+    pert_red_linearization,
+    pert_red_rightmost_root,
+    pert_red_spectral_boundary,
+    rightmost_root,
+)
+
+FIG13 = dict(capacity=100.0, n_flows=5, p_max=0.1, t_min=0.05, t_max=0.1,
+             alpha=0.99, delta=1e-4)
+
+
+class TestCheb:
+    def test_nodes_span_and_order(self):
+        D, x = cheb(8)
+        assert x[0] == pytest.approx(1.0)
+        assert x[-1] == pytest.approx(-1.0)
+        assert all(a > b for a, b in zip(x, x[1:]))
+
+    def test_differentiates_polynomial_exactly(self):
+        D, x = cheb(10)
+        f = x**3
+        assert np.allclose(D @ f, 3 * x**2, atol=1e-10)
+
+    def test_degenerate_order_zero(self):
+        D, x = cheb(0)
+        assert D.shape == (1, 1)
+
+
+class TestRightmostRoot:
+    def test_ode_case_matches_eigenvalues(self):
+        A = np.array([[-2.0, 1.0], [0.0, -3.0]])
+        r = rightmost_root(A, np.zeros((2, 2)), tau=0.5)
+        assert r.real == pytest.approx(-2.0, abs=1e-8)
+
+    def test_zero_delay_reduces_to_a_plus_b(self):
+        A = np.array([[-1.0]])
+        B = np.array([[0.5]])
+        r = rightmost_root(A, B, tau=0.0)
+        assert r.real == pytest.approx(-0.5)
+
+    def test_hayes_scalar_boundary_at_pi_over_two(self):
+        """x' = -k x(t-1) is stable iff k < pi/2."""
+        for k, stable in ((1.0, True), (1.5, True), (1.65, False), (3.0, False)):
+            r = rightmost_root(np.array([[0.0]]), np.array([[-k]]), tau=1.0)
+            assert (r.real < 0) == stable, (k, r)
+
+    def test_known_exact_root(self):
+        """x' = -x(t-1): rightmost roots satisfy s = -e^{-s}.
+
+        The dominant pair is s ~ -0.3181 +/- 1.3372j.
+        """
+        r = rightmost_root(np.array([[0.0]]), np.array([[-1.0]]), tau=1.0)
+        assert r.real == pytest.approx(-0.3181, abs=1e-3)
+        assert abs(r.imag) == pytest.approx(1.3372, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rightmost_root(np.zeros((2, 2)), np.zeros((1, 1)), tau=1.0)
+        with pytest.raises(ValueError):
+            rightmost_root(np.zeros((1, 1)), np.zeros((1, 1)), tau=-1.0)
+
+
+class TestPertRedSpectrum:
+    def test_linearization_shapes_and_structure(self):
+        model = PertRedFluidModel(rtt=0.1, **FIG13)
+        A, B = pert_red_linearization(model)
+        assert A.shape == (3, 3) and B.shape == (3, 3)
+        # queue eq couples only to the instantaneous window
+        assert A[1, 0] == pytest.approx(model.n_flows /
+                                        (model.rtt * model.capacity))
+        # the delayed curve term drives the window
+        assert B[0, 2] < 0
+
+    def test_agrees_with_trajectory_classification(self):
+        from repro.fluid.stability import trajectory_is_stable
+
+        for rtt in (0.10, 0.16, 0.18):
+            model = PertRedFluidModel(rtt=rtt, **FIG13)
+            root = pert_red_rightmost_root(model)
+            traj = trajectory_is_stable(model.simulate(60.0, dt=2e-3))
+            assert (root.real < 0) == traj, rtt
+
+    def test_boundary_near_paper_observation(self):
+        """Linear boundary ~166 ms; the paper observes instability at 171 ms
+        (and notes Theorem 1's boundary is not exact)."""
+        b = pert_red_spectral_boundary(0.1, 0.2, **FIG13)
+        assert 0.155 <= b <= 0.175
+
+    def test_self_delay_approximation_extends_boundary(self):
+        """Paper Sec. 5.3: with W(t-R) ~ W(t) instability moves to ~175 ms."""
+        b_full = pert_red_spectral_boundary(0.1, 0.2, **FIG13)
+        b_approx = pert_red_spectral_boundary(
+            0.1, 0.25, approximate_self_delay=True, **FIG13)
+        assert b_approx > b_full
+        assert 0.165 <= b_approx <= 0.18
+
+    def test_boundary_bracket_validation(self):
+        with pytest.raises(ValueError):
+            pert_red_spectral_boundary(0.19, 0.25, **FIG13)
+        with pytest.raises(ValueError):
+            pert_red_spectral_boundary(0.05, 0.08, **FIG13)
+
+
+def test_fluid_n_of_t_step_shifts_equilibrium():
+    """Doubling N(t) at runtime halves the equilibrium window (eq. 9)."""
+    model = PertRedFluidModel(rtt=0.1, n_of_t=lambda t: 5.0 if t < 60 else 10.0,
+                              **{k: v for k, v in FIG13.items()
+                                 if k != "n_flows"}, n_flows=5)
+    sol = model.simulate(duration=120.0, dt=2e-3)
+    w_before = sol(55.0)[0]
+    w_after = sol(118.0)[0]
+    assert w_before == pytest.approx(2.0, rel=0.05)  # RC/N = 2
+    assert w_after == pytest.approx(1.0, rel=0.1)  # N doubled

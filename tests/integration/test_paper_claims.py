@@ -1,0 +1,122 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Each test runs the real experiment harness at a reduced scale and checks
+the *qualitative* claim the corresponding paper section makes.  These
+are the same code paths the benchmarks drive at larger scale.
+"""
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+from repro.experiments.fig12_dynamics import cohort_share_error, run_dynamics
+from repro.experiments.fig11_multibottleneck import run_parking_lot
+
+RUN = dict(bandwidth=10e6, rtt=0.06, n_fwd=8, duration=30.0, warmup=12.0,
+           seed=3, web_sessions=3)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        s: run_dumbbell(s, **RUN)
+        for s in ("pert", "sack-droptail", "sack-red-ecn", "vegas")
+    }
+
+
+def test_pert_queue_below_droptail(results):
+    assert results["pert"].norm_queue < 0.5 * results["sack-droptail"].norm_queue
+
+
+def test_pert_queue_comparable_to_red(results):
+    """Paper: PERT's queue similar to (or better than) SACK/RED-ECN."""
+    assert results["pert"].norm_queue <= results["sack-red-ecn"].norm_queue * 1.5
+
+
+def test_pert_nearly_lossless(results):
+    assert results["pert"].drop_rate <= 1e-3
+    assert results["sack-droptail"].drop_rate > 5 * max(results["pert"].drop_rate,
+                                                        1e-6)
+
+
+def test_pert_utilization_high(results):
+    assert results["pert"].utilization > 0.9
+
+
+def test_pert_fairness_high(results):
+    assert results["pert"].jain > 0.95
+
+
+def test_vegas_unfair(results):
+    """Paper: Vegas trades fairness for utilization."""
+    assert results["vegas"].jain < results["pert"].jain
+
+
+def test_pert_uses_no_router_support(results):
+    """PERT runs over plain DropTail: no marks can have occurred."""
+    assert results["pert"].mark_rate == 0.0
+    assert results["sack-red-ecn"].mark_rate > 0.0
+
+
+def test_pert_responds_early(results):
+    assert results["pert"].early_responses > 50
+
+
+def test_rtt_unfairness_reduced():
+    """Table 1 claims under heterogeneous RTTs.
+
+    Vegas' delay-based fairness reproduces strongly; PERT lands near
+    DropTail on rate fairness at this scaled point (its equilibrium
+    equalizes windows, not rates — see EXPERIMENTS.md) while keeping
+    the queue short and losses at zero.
+    """
+    rtts = [0.024 * (i + 1) for i in range(5)]
+    kw = dict(bandwidth=10e6, n_fwd=5, rtts=rtts, duration=40.0,
+              warmup=15.0, seed=3)
+    pert = run_dumbbell("pert", **kw)
+    sack = run_dumbbell("sack-droptail", **kw)
+    vegas = run_dumbbell("vegas", **kw)
+    assert vegas.jain > sack.jain
+    assert pert.jain >= sack.jain - 0.08
+    assert pert.drop_rate <= sack.drop_rate
+    assert pert.norm_queue < sack.norm_queue
+
+
+def test_multibottleneck_pert_low_queue_every_hop():
+    rows = run_parking_lot("pert", n_routers=4, cloud_size=3, link_bw=8e6,
+                           duration=30.0, warmup=12.0, seed=3)
+    assert len(rows) == 3
+    for row in rows:
+        assert row["norm_queue"] < 0.5
+        assert row["drop_rate"] <= 2e-3
+        assert row["utilization"] > 0.5
+
+
+def test_dynamics_pert_reconverges():
+    res = run_dynamics("pert", n_cohorts=3, cohort_size=3, epoch=12.0,
+                       bandwidth=8e6, seed=3)
+    # once all cohorts are active, shares must be near-equal
+    err_full = cohort_share_error(res, epoch_index=res["n_cohorts"] - 1)
+    assert err_full < 0.35
+    # aggregate throughput in the full-load epoch ~ link capacity
+    times = res["times"]
+    full_lo = (res["n_cohorts"] - 1) * res["epoch"] + res["epoch"] / 2
+    full_hi = res["n_cohorts"] * res["epoch"]
+    idx = [i for i, t in enumerate(times) if full_lo < t <= full_hi]
+    agg = sum(sum(res["cohort_rates_bps"][k][i] for k in range(3))
+              for i in idx) / len(idx)
+    assert agg > 0.8 * res["bandwidth"]
+
+
+def test_pert_pi_emulation_controls_queue():
+    r = run_dumbbell("pert-pi", bandwidth=10e6, rtt=0.06, n_fwd=8,
+                     duration=30.0, warmup=12.0, seed=3)
+    assert r.drop_rate < 0.01
+    assert r.utilization > 0.85
+    assert r.early_responses > 0
+
+
+def test_router_pi_baseline_marks_packets():
+    r = run_dumbbell("sack-pi-ecn", bandwidth=10e6, rtt=0.06, n_fwd=8,
+                     duration=30.0, warmup=12.0, seed=3)
+    assert r.mark_rate > 0.0
+    assert r.utilization > 0.5

@@ -1,0 +1,70 @@
+"""Tests for the time-series metrics."""
+
+import pytest
+
+from repro.metrics.timeseries import (
+    moving_average,
+    relative_error_series,
+    settling_time,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        xs = [1.0, 5.0, 2.0]
+        assert moving_average(xs, 1) == xs
+
+    def test_partial_prefix(self):
+        out = moving_average([2.0, 4.0, 6.0, 8.0], 3)
+        assert out[0] == 2.0
+        assert out[1] == 3.0
+        assert out[2] == 4.0
+        assert out[3] == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestRelativeError:
+    def test_values(self):
+        assert relative_error_series([8.0, 12.0], 10.0) == [
+            pytest.approx(0.2), pytest.approx(0.2)]
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error_series([1.0], 0.0)
+
+
+class TestSettlingTime:
+    def test_immediate_settle(self):
+        times = [0, 1, 2, 3, 4]
+        series = [10, 10, 10, 10, 10]
+        assert settling_time(times, series, 10.0, hold=3) == 0
+
+    def test_settles_after_transient(self):
+        times = list(range(8))
+        series = [1, 2, 30, 10, 10, 10, 10, 10]
+        assert settling_time(times, series, 10.0, tolerance=0.2, hold=3) == 3
+
+    def test_never_settles(self):
+        times = list(range(5))
+        series = [1, 100, 1, 100, 1]
+        assert settling_time(times, series, 10.0) is None
+
+    def test_relapse_moves_settling_later(self):
+        # settles, relapses, settles again: the final entry counts
+        times = list(range(10))
+        series = [10, 10, 10, 10, 50, 50, 10, 10, 10, 10]
+        assert settling_time(times, series, 10.0, hold=3) == 6
+
+    def test_hold_requirement(self):
+        times = list(range(4))
+        series = [10, 10, 1, 1]
+        assert settling_time(times, series, 10.0, hold=3) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            settling_time([0], [1, 2], 1.0)
+        with pytest.raises(ValueError):
+            settling_time([0], [1], 1.0, tolerance=1.5)

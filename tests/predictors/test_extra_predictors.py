@@ -1,0 +1,82 @@
+"""Tests for the Sync-TCP and TCP-BFA predictors."""
+
+import pytest
+
+from repro.predictors.extra import SyncTcpPredictor, TcpBfaPredictor
+
+
+def feed(pred, rtts, dt=0.05, cwnd=10.0):
+    state = False
+    for i, r in enumerate(rtts):
+        state = pred.update(i * dt, r, cwnd)
+    return state
+
+
+class TestSyncTcp:
+    def test_rising_trend_detected(self):
+        pred = SyncTcpPredictor(window=5, margin=0.001)
+        rtts = [0.05 + 0.002 * i for i in range(20)]
+        assert feed(pred, rtts)
+
+    def test_flat_low_delay_not_flagged(self):
+        pred = SyncTcpPredictor(window=5)
+        assert not feed(pred, [0.05] * 30)
+
+    def test_falling_trend_clears(self):
+        pred = SyncTcpPredictor(window=5)
+        rtts = [0.05 + 0.002 * i for i in range(15)]
+        rtts += [rtts[-1] - 0.003 * i for i in range(1, 15)]
+        assert not feed(pred, rtts)
+
+    def test_noise_near_floor_ignored(self):
+        pred = SyncTcpPredictor(window=5, margin=0.005)
+        rtts = [0.05 + (0.0005 if i % 2 else 0.0) for i in range(40)]
+        assert not feed(pred, rtts)
+
+    def test_reset(self):
+        pred = SyncTcpPredictor()
+        feed(pred, [0.05 + 0.01 * i for i in range(10)])
+        pred.reset()
+        assert not pred._samples and pred._ewma is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncTcpPredictor(window=2)
+        with pytest.raises(ValueError):
+            SyncTcpPredictor(trend_fraction=0.0)
+
+
+class TestTcpBfa:
+    def test_variance_spike_detected(self):
+        pred = TcpBfaPredictor(window=8, ratio=4.0)
+        quiet = [0.05 + 0.0001 * (i % 2) for i in range(20)]
+        noisy = [0.05, 0.12, 0.05, 0.13, 0.06, 0.12, 0.05, 0.14] * 3
+        assert feed(pred, quiet + noisy)
+
+    def test_quiet_path_not_flagged(self):
+        pred = TcpBfaPredictor(window=8)
+        assert not feed(pred, [0.05 + 0.0001 * (i % 3) for i in range(50)])
+
+    def test_insufficient_history(self):
+        pred = TcpBfaPredictor(window=10)
+        assert not pred.update(0.0, 0.5, 10)
+
+    def test_reset(self):
+        pred = TcpBfaPredictor()
+        feed(pred, [0.05] * 20)
+        pred.reset()
+        assert not pred._samples
+        assert pred._min_var == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpBfaPredictor(window=2)
+        with pytest.raises(ValueError):
+            TcpBfaPredictor(ratio=1.0)
+
+
+def test_extra_predictors_in_fig3_suite():
+    from repro.experiments.fig3_predictors import predictor_suite
+
+    names = {p.name for p in predictor_suite(threshold=0.065)}
+    assert {"sync-tcp", "tcp-bfa"} <= names

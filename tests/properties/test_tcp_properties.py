@@ -1,0 +1,94 @@
+"""Property-based tests of the TCP substrate's end-to-end guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import DropTailQueue
+from repro.tcp.base import TcpSender, connect_flow
+
+from ..conftest import make_dumbbell
+
+
+class ScriptedLossQueue(DropTailQueue):
+    """Drops an arbitrary (finite) set of (seq, occurrence) pairs.
+
+    ``drop_plan[seq] = k`` drops the first k transmissions of that data
+    sequence number — covering lost originals *and* lost retransmissions.
+    """
+
+    def __init__(self, capacity_pkts, drop_plan):
+        super().__init__(capacity_pkts)
+        self.remaining = dict(drop_plan)
+
+    def admit(self, pkt, now):
+        if not pkt.is_ack and self.remaining.get(pkt.seq, 0) > 0:
+            self.remaining[pkt.seq] -= 1
+            return "drop"
+        return super().admit(pkt, now)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    drops=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=39),
+        values=st.integers(min_value=1, max_value=3),
+        max_size=12,
+    ),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_transfer_completes_under_any_finite_loss_pattern(drops, seed):
+    """Reliability: every finite drop pattern is eventually recovered."""
+    sim = Simulator(seed=seed)
+    db = make_dumbbell(sim, qdisc_factory=lambda: ScriptedLossQueue(200, drops))
+    sender, sink = connect_flow(sim, db.left[0], db.right[0], flow_id=1,
+                                sender_cls=TcpSender)
+    sender.start(npackets=40)
+    sim.run(until=300.0)
+    assert sender.done, f"stalled with drops={drops}"
+    assert sink.rcv_next == 40
+    assert sink.out_of_order == set()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ack_drops=st.sets(st.integers(min_value=1, max_value=39), max_size=10),
+)
+def test_transfer_survives_ack_losses(ack_drops):
+    """Cumulative ACKs make the transfer robust to lost ACKs."""
+
+    class AckLossQueue(DropTailQueue):
+        def __init__(self):
+            super().__init__(200)
+            self.todo = set(ack_drops)
+
+        def admit(self, pkt, now):
+            if pkt.is_ack and pkt.ack_seq in self.todo:
+                self.todo.discard(pkt.ack_seq)
+                return "drop"
+            return super().admit(pkt, now)
+
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim, qdisc_factory=AckLossQueue)
+    sender, sink = connect_flow(sim, db.left[0], db.right[0], flow_id=1)
+    sender.start(npackets=40)
+    sim.run(until=300.0)
+    assert sender.done
+    assert sink.rcv_next == 40
+
+
+@settings(max_examples=10, deadline=None)
+@given(npackets=st.integers(min_value=1, max_value=120),
+       seed=st.integers(min_value=0, max_value=5))
+def test_lossless_transfer_has_no_retransmits(npackets, seed):
+    sim = Simulator(seed=seed)
+    db = make_dumbbell(sim, buffer_pkts=500)
+    sender, sink = connect_flow(sim, db.left[0], db.right[0], flow_id=1)
+    sender.start(npackets=npackets)
+    sim.run(until=120.0)
+    assert sender.done
+    assert sender.retransmits == 0
+    assert sender.timeouts == 0
+    assert sink.rcv_next == npackets
+    # exactly npackets data packets crossed the link
+    assert sender.pkts_sent == npackets

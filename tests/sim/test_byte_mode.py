@@ -1,0 +1,72 @@
+"""Tests for byte-bounded queues and RED's byte mode."""
+
+import random
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, RedQueue
+
+
+def pkt(seq=0, size=1000, ect=False):
+    return Packet(flow_id=1, src=0, dst=1, seq=seq, size=size, ect=ect)
+
+
+class TestByteCapacity:
+    def test_byte_bound_enforced(self):
+        q = DropTailQueue(100, capacity_bytes=2500)
+        assert q.enqueue(pkt(0, size=1000), 0.0)
+        assert q.enqueue(pkt(1, size=1000), 0.0)
+        assert not q.enqueue(pkt(2, size=1000), 0.0)  # would exceed 2500 B
+        assert q.enqueue(pkt(3, size=400), 0.0)  # small packet still fits
+        assert q.stats.forced_drops == 1
+
+    def test_packet_bound_still_applies(self):
+        q = DropTailQueue(2, capacity_bytes=10**9)
+        q.enqueue(pkt(0), 0.0)
+        q.enqueue(pkt(1), 0.0)
+        assert not q.enqueue(pkt(2), 0.0)
+
+    def test_byte_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(10, capacity_bytes=0)
+
+    def test_dequeue_frees_byte_budget(self):
+        q = DropTailQueue(100, capacity_bytes=1000)
+        q.enqueue(pkt(0, size=1000), 0.0)
+        assert not q.enqueue(pkt(1, size=100), 0.0)
+        q.dequeue(1.0)
+        assert q.enqueue(pkt(2, size=100), 1.0)
+
+
+class TestRedByteMode:
+    def make(self, byte_mode):
+        return RedQueue(1000, min_th=5, max_th=15, max_p=0.5, w_q=1.0,
+                        gentle=False, ecn=False, byte_mode=byte_mode,
+                        mean_pkt_size=1000, rng=random.Random(3))
+
+    def _drop_rate(self, q, size, n=2000):
+        drops = 0
+        for i in range(n):
+            q.avg = 10.0  # hold mid-band: p_b = 0.25
+            if not q.enqueue(pkt(i, size=size), 0.0):
+                drops += 1
+            q.dequeue(0.0)
+        return drops / n
+
+    def test_small_packets_spared_in_byte_mode(self):
+        big = self._drop_rate(self.make(True), size=1000)
+        small = self._drop_rate(self.make(True), size=40)
+        assert small < 0.25 * big
+
+    def test_packet_mode_size_blind(self):
+        big = self._drop_rate(self.make(False), size=1000)
+        small = self._drop_rate(self.make(False), size=40)
+        assert abs(big - small) < 0.1
+
+    def test_byte_mode_probability_capped(self):
+        q = self.make(True)
+        q.avg = 10.0
+        # a jumbo packet cannot push effective probability above 1
+        verdicts = {q.admit(pkt(i, size=100000), 0.0) for i in range(5)}
+        assert verdicts <= {"drop", "enqueue"}

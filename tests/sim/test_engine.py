@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.3, order.append, "c")
+    sim.schedule(0.1, order.append, "a")
+    sim.schedule(0.2, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0  # clock advanced to the horizon
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_cancel_skips_event():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(ev)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_none_is_noop():
+    sim = Simulator()
+    sim.cancel(None)  # should not raise
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_max_events_limit():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.1, loop)
+
+    sim.schedule(0.0, loop)
+    sim.run(max_events=10)
+    assert sim.events_processed == 10
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    e1.cancel()
+    assert sim.pending() == 1
+
+
+def test_streams_are_reproducible_and_independent():
+    a1 = Simulator(seed=7).stream("x").random()
+    a2 = Simulator(seed=7).stream("x").random()
+    b = Simulator(seed=7).stream("y").random()
+    c = Simulator(seed=8).stream("x").random()
+    assert a1 == a2
+    assert a1 != b
+    assert a1 != c
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    err = []
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError:
+            err.append(True)
+
+    sim.schedule(0.0, inner)
+    sim.run()
+    assert err == [True]

@@ -1,0 +1,110 @@
+"""Unit tests for topology builders and monitors."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.monitors import DropLog, LinkWindow, QueueSampler, ThroughputSampler
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import Dumbbell, ParkingLot
+
+
+def test_dumbbell_shape():
+    sim = Simulator()
+    db = Dumbbell(sim, n_left=3, n_right=2, bottleneck_bw=1e6,
+                  bottleneck_delay=0.01, qdisc_fwd=lambda: DropTailQueue(10))
+    assert len(db.left) == 3 and len(db.right) == 2
+    assert db.fwd.src is db.r1 and db.fwd.dst is db.r2
+    assert db.rev.src is db.r2 and db.rev.dst is db.r1
+    # all-pairs routes exist
+    assert db.right[1].node_id in db.left[0].routes
+    assert db.left[2].node_id in db.right[0].routes
+
+
+def test_dumbbell_access_delays_applied():
+    sim = Simulator()
+    db = Dumbbell(sim, n_left=2, n_right=2, bottleneck_bw=1e6,
+                  bottleneck_delay=0.01, qdisc_fwd=lambda: DropTailQueue(10),
+                  access_delays_left=[0.002, 0.004],
+                  access_delays_right=[0.001, 0.003])
+    link = db.left[1].routes[db.right[0].node_id]
+    assert link.delay == pytest.approx(0.004)
+
+
+def test_dumbbell_delay_list_length_validated():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Dumbbell(sim, n_left=2, n_right=2, bottleneck_bw=1e6,
+                 bottleneck_delay=0.01, qdisc_fwd=lambda: DropTailQueue(10),
+                 access_delays_left=[0.001])
+
+
+def test_parking_lot_shape():
+    sim = Simulator()
+    lot = ParkingLot(sim, n_routers=4, cloud_size=2, link_bw=1e6,
+                     link_delay=0.005, qdisc=lambda: DropTailQueue(10))
+    assert len(lot.routers) == 4
+    assert len(lot.core_links) == 3
+    assert all(len(c) == 2 for c in lot.clouds)
+    # end-to-end path uses the router chain
+    first_cloud_host = lot.clouds[0][0]
+    assert lot.clouds[-1][0].node_id in first_cloud_host.routes
+
+
+def test_parking_lot_requires_two_routers():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ParkingLot(sim, n_routers=1, cloud_size=1, link_bw=1e6,
+                   link_delay=0.005, qdisc=lambda: DropTailQueue(10))
+
+
+def test_queue_sampler_records_and_lookup():
+    sim = Simulator()
+    q = DropTailQueue(10)
+    sampler = QueueSampler(sim, q, interval=0.1)
+    sim.schedule(0.15, lambda: q.enqueue(Packet(1, 0, 1, seq=0), sim.now))
+    sim.run(until=0.55)
+    assert sampler.length_at(0.0) == 0
+    assert sampler.length_at(0.3) == 1
+    assert sampler.mean(0.2, 0.5) == pytest.approx(1.0)
+
+
+def test_queue_sampler_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        QueueSampler(sim, DropTailQueue(5), interval=0.0)
+
+
+def test_drop_log_filters_by_flow():
+    q = DropTailQueue(1)
+    log = DropLog(q)
+    q.enqueue(Packet(1, 0, 1, seq=0), 0.0)
+    q.enqueue(Packet(1, 0, 1, seq=1), 1.0)  # dropped
+    q.enqueue(Packet(2, 0, 1, seq=0), 2.0)  # dropped
+    assert log.times() == [1.0, 2.0]
+    assert log.times(flow_id=2) == [2.0]
+    assert log.count(start=1.5) == 1
+
+
+def test_link_window_requires_open_close(sim, dumbbell):
+    win = LinkWindow(sim, dumbbell.fwd)
+    with pytest.raises(RuntimeError):
+        _ = win.utilization
+    win.open()
+    with pytest.raises(RuntimeError):
+        _ = win.drop_rate
+
+
+def test_throughput_sampler_rates():
+    sim = Simulator()
+    counter = {"bytes": 0}
+
+    def add():
+        counter["bytes"] += 1000
+        sim.schedule(0.1, add)
+
+    sampler = ThroughputSampler(sim, lambda: counter["bytes"], interval=1.0)
+    sim.schedule(0.05, add)
+    sim.run(until=3.05)
+    # 10 packets of 1000 B per second = 80 kbps
+    assert sampler.rates_bps[1] == pytest.approx(80000.0)

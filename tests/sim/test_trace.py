@@ -1,0 +1,72 @@
+"""Tests for the flow tracer and ASCII rendering."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import FlowTracer, ascii_series
+
+from ..conftest import make_dumbbell, make_flow
+
+
+def test_tracer_samples_on_grid():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    tracer = FlowTracer(sim, sender, interval=0.5)
+    sender.start()
+    sim.run(until=5.0)
+    assert len(tracer.times) == pytest.approx(11, abs=1)
+    assert len(tracer.cwnd) == len(tracer.times) == len(tracer.srtt)
+    assert all(c >= 1.0 for c in tracer.cwnd)
+
+
+def test_tracer_delayed_start():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    tracer = FlowTracer(sim, sender, interval=0.5, start=2.0)
+    sender.start()
+    sim.run(until=5.0)
+    assert tracer.times[0] == pytest.approx(2.0)
+
+
+def test_tracer_stats():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    tracer = FlowTracer(sim, sender, interval=0.2)
+    sender.start()
+    sim.run(until=10.0)
+    stats = tracer.cwnd_stats()
+    assert stats["min"] <= stats["mean"] <= stats["max"]
+    assert stats["swing"] >= 1.0
+
+
+def test_tracer_empty_stats():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    tracer = FlowTracer(sim, sender, interval=1.0)
+    assert tracer.cwnd_stats()["mean"] == 0.0
+
+
+def test_tracer_validation():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    with pytest.raises(ValueError):
+        FlowTracer(sim, sender, interval=0.0)
+
+
+def test_ascii_series_shape():
+    out = ascii_series([1, 2, 3, 4, 5], width=5, height=4, label="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 1 + 5 + 1  # label + (height+1) rows + axis
+    assert "*" in out
+
+
+def test_ascii_series_handles_flat_and_empty():
+    assert "no data" in ascii_series([], label="x ")
+    out = ascii_series([2.0, 2.0, 2.0])
+    assert "*" in out  # flat series still renders

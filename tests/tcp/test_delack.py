@@ -1,0 +1,64 @@
+"""Tests for the delayed-ACK receiver option."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.base import TcpSender, TcpSink, connect_flow
+
+from ..conftest import make_dumbbell
+
+
+def run_transfer(delack, npackets=200):
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, sink = connect_flow(
+        sim, db.left[0], db.right[0], flow_id=1, sender_cls=TcpSender,
+        sink_kwargs={"delack": delack},
+    )
+    sender.start(npackets=npackets)
+    sim.run(until=60.0)
+    return sender, sink
+
+
+def test_delack_halves_ack_volume():
+    _, sink_immediate = run_transfer(delack=False)
+    _, sink_delayed = run_transfer(delack=True)
+    assert sink_immediate.acks_sent == pytest.approx(200, abs=5)
+    assert sink_delayed.acks_sent < 0.65 * sink_immediate.acks_sent
+
+
+def test_delack_transfer_still_completes():
+    sender, sink = run_transfer(delack=True)
+    assert sender.done
+    assert sink.rcv_next == 200
+
+
+def test_delack_timer_flushes_odd_segment():
+    """A lone segment must still be acknowledged within the timeout."""
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, sink = connect_flow(
+        sim, db.left[0], db.right[0], flow_id=1,
+        sink_kwargs={"delack": True, "delack_timeout": 0.05},
+    )
+    sender.start(npackets=1)
+    sim.run(until=2.0)
+    assert sender.done
+    assert sink.acks_sent == 1
+
+
+def test_delack_out_of_order_acks_immediately():
+    """Loss recovery must not wait on the delayed-ACK timer."""
+    from ..tcp.test_loss_recovery import LossyQueue
+    from ..conftest import make_flow
+
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim, qdisc_factory=lambda: LossyQueue(200, {10}))
+    sender, sink = connect_flow(
+        sim, db.left[0], db.right[0], flow_id=1,
+        sink_kwargs={"delack": True},
+    )
+    sender.start(npackets=60)
+    sim.run(until=30.0)
+    assert sink.rcv_next == 60
+    assert sender.timeouts == 0  # fast retransmit worked despite delack

@@ -1,0 +1,121 @@
+"""RTT estimation and RTO behaviour (RFC 6298 details)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.base import MAX_RTO, MIN_RTO, TcpSender
+
+from ..conftest import make_dumbbell, make_flow
+
+
+def make_sender():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    return sim, sender
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises_srtt_and_var(self):
+        _, s = make_sender()
+        s._rtt_update(0.1)
+        assert s.srtt == pytest.approx(0.1)
+        assert s.rttvar == pytest.approx(0.05)
+
+    def test_ewma_update_formulas(self):
+        _, s = make_sender()
+        s._rtt_update(0.1)
+        s._rtt_update(0.2)
+        assert s.rttvar == pytest.approx(0.75 * 0.05 + 0.25 * 0.1)
+        assert s.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+    def test_rto_floor(self):
+        _, s = make_sender()
+        for _ in range(20):
+            s._rtt_update(0.001)  # tiny stable RTT
+        assert s.rto == MIN_RTO
+
+    def test_rto_ceiling(self):
+        _, s = make_sender()
+        s._rtt_update(100.0)
+        assert s.rto == MAX_RTO
+
+    def test_min_rtt_tracks_smallest(self):
+        _, s = make_sender()
+        for v in (0.3, 0.1, 0.2):
+            s._rtt_update(v)
+        assert s.min_rtt == pytest.approx(0.1)
+
+
+class TestBackoff:
+    def test_backoff_doubles_on_timeouts(self):
+        sim, s = make_sender()
+        s.started = True
+        s.next_seq = s.high_water = 5  # pretend data is outstanding
+        assert s._backoff == 1
+        s._on_timeout()
+        assert s._backoff == 2
+        s._on_timeout()
+        assert s._backoff == 4
+
+    def test_backoff_capped(self):
+        sim, s = make_sender()
+        s.started = True
+        s.next_seq = s.high_water = 5
+        for _ in range(20):
+            s._on_timeout()
+        assert s._backoff == 64
+
+    def test_timer_delay_capped_at_max_rto(self):
+        sim, s = make_sender()
+        s.started = True
+        s.next_seq = s.high_water = 5
+        s.rto = 50.0
+        s._backoff = 64
+        s._arm_rtx_timer()
+        # the scheduled event must fire within MAX_RTO, not rto*backoff
+        assert s._rtx_timer.time - sim.now <= MAX_RTO + 1e-9
+
+    def test_backoff_resets_on_progress(self):
+        sim = Simulator(seed=1)
+        db = make_dumbbell(sim)
+        sender, sink = make_flow(sim, db)
+        sender.start(npackets=10)
+        sim.run(until=10.0)
+        assert sender.done
+        assert sender._backoff == 1
+
+
+class TestKarnGuards:
+    def test_no_sample_for_packets_sent_before_retransmit(self):
+        sim, s = make_sender()
+        s._sent_time[7] = 1.0
+        s._last_rtx_time = 2.0  # a retransmission happened after seq 7 left
+        s.cum_ack = 7
+
+        class Ack:
+            ack_seq = 8
+            sack_blocks = []
+            ece = False
+            is_ack = True
+
+        before = s.srtt
+        s._process_ack_seq(Ack())
+        assert s.srtt == before  # no (gated) sample taken
+
+    def test_sample_taken_for_fresh_packets(self):
+        sim, s = make_sender()
+        s._sent_time[7] = 3.0
+        s._last_rtx_time = 2.0
+        s.cum_ack = 7
+        sim.schedule(3.05, lambda: None)
+        sim.run()
+
+        class Ack:
+            ack_seq = 8
+            sack_blocks = []
+            ece = False
+            is_ack = True
+
+        s._process_ack_seq(Ack())
+        assert s.srtt == pytest.approx(0.05)

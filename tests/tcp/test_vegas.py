@@ -1,0 +1,140 @@
+"""Unit tests for TCP Vegas."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.vegas import VegasSender
+
+from ..conftest import make_dumbbell, make_flow
+
+
+def test_parameter_validation():
+    sim = Simulator()
+    db = make_dumbbell(sim)
+    with pytest.raises(ValueError):
+        make_flow(sim, db, sender_cls=VegasSender, alpha=5.0, beta=3.0)
+
+
+def test_vegas_keeps_small_backlog():
+    """A single Vegas flow parks only alpha..beta packets in the queue."""
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim, bw=8e6, buffer_pkts=100)
+    sender, sink = make_flow(sim, db, sender_cls=VegasSender)
+    sender.start()
+    qlen_samples = []
+
+    def sample():
+        qlen_samples.append(len(db.bottleneck_queue))
+        sim.schedule(0.1, sample)
+
+    sim.schedule(5.0, sample)
+    sim.run(until=15.0)
+    mean_q = sum(qlen_samples) / len(qlen_samples)
+    # steady backlog close to the alpha..beta band (plus ACK jitter)
+    assert 0.2 <= mean_q <= 8.0
+    assert db.bottleneck_queue.stats.drops == 0
+
+
+def test_vegas_avoids_losses_where_sack_drops():
+    from repro.tcp.sack import SackSender
+
+    def run(cls):
+        sim = Simulator(seed=1)
+        db = make_dumbbell(sim, bw=8e6, buffer_pkts=30)
+        sender, _ = make_flow(sim, db, sender_cls=cls)
+        sender.start()
+        sim.run(until=15.0)
+        return db.bottleneck_queue.stats.drops
+
+    assert run(SackSender) > 0
+    assert run(VegasSender) == 0
+
+
+def test_vegas_diff_estimate():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db, sender_cls=VegasSender)
+    sender.min_rtt = 0.1
+    sender.cwnd = 10.0
+    # rtt equal to base -> zero backlog
+    assert sender._diff_packets(0.1) == pytest.approx(0.0)
+    # rtt = 2*base -> half the window queued
+    assert sender._diff_packets(0.2) == pytest.approx(5.0)
+
+
+def test_vegas_decreases_when_backlog_exceeds_beta():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db, sender_cls=VegasSender, beta=3.0)
+    sender.ssthresh = 1.0  # force congestion-avoidance mode
+    sender.cwnd = 20.0
+    sender.min_rtt = 0.05
+
+    class FakeAck:
+        pass
+
+    sender._epoch_end = 0.0
+    sender.on_ack(FakeAck(), rtt_sample=0.1)  # backlog = 10 > beta
+    assert sender.cwnd == pytest.approx(19.0)
+
+
+def test_vegas_increases_when_backlog_below_alpha():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db, sender_cls=VegasSender, alpha=1.0)
+    sender.ssthresh = 1.0
+    sender.cwnd = 20.0
+    sender.min_rtt = 0.1
+
+    class FakeAck:
+        pass
+
+    sender._epoch_end = 0.0
+    sender.on_ack(FakeAck(), rtt_sample=0.1001)  # backlog ~ 0 < alpha
+    assert sender.cwnd == pytest.approx(21.0)
+
+
+def test_vegas_holds_within_band():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db, sender_cls=VegasSender, alpha=1.0, beta=3.0)
+    sender.ssthresh = 1.0
+    sender.cwnd = 20.0
+    sender.min_rtt = 0.1
+
+    class FakeAck:
+        pass
+
+    sender._epoch_end = 0.0
+    # backlog = 20 * (0.111-0.1)/0.111 ~ 2 packets: inside [1, 3]
+    sender.on_ack(FakeAck(), rtt_sample=0.1111)
+    assert sender.cwnd == pytest.approx(20.0)
+
+
+def test_vegas_adjusts_once_per_rtt():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db, sender_cls=VegasSender)
+    sender.ssthresh = 1.0
+    sender.cwnd = 20.0
+    sender.min_rtt = 0.1
+
+    class FakeAck:
+        pass
+
+    sender._epoch_end = 0.0
+    sender.on_ack(FakeAck(), rtt_sample=0.2)
+    w1 = sender.cwnd
+    sender.on_ack(FakeAck(), rtt_sample=0.2)  # same epoch: no change
+    assert sender.cwnd == w1
+
+
+def test_vegas_slow_start_exits_on_queueing():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim, bw=4e6, buffer_pkts=200)
+    sender, _ = make_flow(sim, db, sender_cls=VegasSender)
+    sender.start()
+    sim.run(until=10.0)
+    # Vegas must have left slow start without a loss
+    assert sender.ssthresh < 1e8
+    assert sender.fast_recoveries == 0 and sender.timeouts == 0

@@ -1,0 +1,78 @@
+"""API-surface tests: imports, __all__ integrity, version, docstrings."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.config",
+    "repro.core.pert",
+    "repro.core.pert_owd",
+    "repro.core.pert_pi",
+    "repro.core.response",
+    "repro.core.srtt",
+    "repro.sim",
+    "repro.sim.engine",
+    "repro.sim.link",
+    "repro.sim.monitors",
+    "repro.sim.node",
+    "repro.sim.packet",
+    "repro.sim.queues",
+    "repro.sim.topology",
+    "repro.tcp",
+    "repro.tcp.base",
+    "repro.tcp.reno",
+    "repro.tcp.sack",
+    "repro.tcp.vegas",
+    "repro.traffic",
+    "repro.predictors",
+    "repro.predictors.analysis",
+    "repro.fluid",
+    "repro.fluid.dde",
+    "repro.fluid.stability",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_documented(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    for sym in getattr(mod, "__all__", []):
+        assert hasattr(mod, sym), f"{name}.__all__ lists missing {sym!r}"
+
+
+def test_every_subpackage_is_importable():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(info.name)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_classes_documented():
+    from repro import (
+        Dumbbell,
+        PertPiSender,
+        PertSender,
+        PiQueue,
+        RedQueue,
+        Simulator,
+        VegasSender,
+    )
+
+    for cls in (PertSender, PertPiSender, Simulator, Dumbbell, RedQueue,
+                PiQueue, VegasSender):
+        assert cls.__doc__

@@ -1,0 +1,39 @@
+"""Import-time sanity for the benchmark suite (no benchmarks executed)."""
+
+import importlib
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+MODULES = sorted(p.stem for p in BENCH_DIR.glob("test_*.py"))
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_benchmark_module_imports(name):
+    mod = importlib.import_module(f"benchmarks.{name}")
+    assert mod.__doc__, f"benchmarks/{name}.py lacks a docstring"
+
+
+def test_every_paper_artifact_has_a_benchmark():
+    present = set(MODULES)
+    for required in ("test_fig2", "test_fig3", "test_fig4", "test_fig5",
+                     "test_fig6", "test_fig7", "test_fig8", "test_fig9",
+                     "test_table1", "test_fig11", "test_fig12", "test_fig13",
+                     "test_fig14", "test_ablations"):
+        assert required in present, f"missing benchmarks/{required}.py"
+
+
+def test_render_scripts_importable():
+    import importlib.util
+    for script in ("render_experiments", "write_experiments_md"):
+        spec = importlib.util.spec_from_file_location(
+            script, BENCH_DIR / f"{script}.py")
+        mod = importlib.util.module_from_spec(spec)
+        import sys
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            spec.loader.exec_module(mod)
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+        assert hasattr(mod, "main")
