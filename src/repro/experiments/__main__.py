@@ -3,19 +3,26 @@
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments fig6 [--scaled]
-    python -m repro.experiments all
+    python -m repro.experiments fig6 [--workers N] [--no-cache]
+    python -m repro.experiments all -j 8 --progress
 
 Each experiment prints the reproduced table next to the paper's
-expectation.  ``--scaled`` (default) uses the laptop-scale parameters;
-the module-level ``run()`` functions accept full-scale parameters
-programmatically.
+expectation.  Grid-shaped experiments execute through
+:mod:`repro.runner`: ``--workers`` fans simulation jobs out over worker
+processes (default: one per CPU) and results are cached on disk
+(``~/.cache/repro`` or ``$REPRO_CACHE_DIR``) so a re-run only simulates
+changed points.  ``--workers 0`` forces the serial in-process path for
+debugging.  The module-level ``run()`` functions accept full-scale
+parameters programmatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
+from typing import Dict, Iterator, Optional
 
 from . import (
     fig2_loss_correlation,
@@ -52,6 +59,41 @@ EXPERIMENTS = {
 }
 
 
+@contextlib.contextmanager
+def _scoped_env(updates: Dict[str, Optional[str]]) -> Iterator[None]:
+    """Apply environment overrides for the duration of the run only."""
+    saved = {k: os.environ.get(k) for k in updates}
+    try:
+        for k, v in updates.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _runner_env(args) -> Dict[str, Optional[str]]:
+    """Translate CLI flags into the runner's environment knobs."""
+    env: Dict[str, Optional[str]] = {}
+    if args.workers is not None:
+        env["REPRO_WORKERS"] = str(args.workers)
+    elif "REPRO_WORKERS" not in os.environ:
+        env["REPRO_WORKERS"] = str(os.cpu_count() or 1)
+    if args.no_cache:
+        env["REPRO_CACHE"] = "0"
+    if args.cache_dir:
+        env["REPRO_CACHE_DIR"] = args.cache_dir
+    if args.progress:
+        env["REPRO_PROGRESS"] = "1"
+    return env
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -62,6 +104,23 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["list", "all"],
         help="experiment id (e.g. fig6, table1), 'list', or 'all'",
     )
+    parser.add_argument(
+        "-j", "--workers", type=int, default=None, metavar="N",
+        help="worker processes for grid experiments "
+             "(default: $REPRO_WORKERS or one per CPU; 0 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="log per-job runner progress (jobs done/cached/failed, events/s)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -71,10 +130,11 @@ def main(argv=None) -> int:
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
-        EXPERIMENTS[name].main()
-        print()
+    with _scoped_env(_runner_env(args)):
+        for name in names:
+            print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+            EXPERIMENTS[name].main()
+            print()
     return 0
 
 

@@ -79,6 +79,7 @@ class DumbbellResult:
     flow_goodputs_bps: List[float] = field(default_factory=list)
     early_responses: int = 0
     timeouts: int = 0
+    events_processed: int = 0
     extras: Dict = field(default_factory=dict)
 
 
@@ -244,6 +245,7 @@ def run_dumbbell(
             getattr(s, "early_responses", 0) for s, _ in fwd_flows + rev_flows
         ),
         timeouts=sum(s.timeouts for s, _ in fwd_flows + rev_flows),
+        events_processed=sim.events_processed,
     )
     if record_rtt_flow is not None:
         tagged = fwd_flows[record_rtt_flow][0]

@@ -17,9 +17,11 @@ a common set of routers.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence
+import math
+from typing import Dict, List, Optional, Sequence
 
 from ..metrics.fairness import jain_index
+from ..runner import parking_lot_spec, run_jobs
 from ..sim.engine import Simulator
 from ..sim.monitors import LinkWindow, QueueSampler
 from ..sim.topology import ParkingLot
@@ -133,11 +135,39 @@ def run_parking_lot(
 
 
 def run(
-    schemes: Sequence[str] = SECTION4_SCHEMES, **kwargs
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+    **kwargs,
 ) -> List[Dict]:
+    """All schemes over the parking lot, one runner job per scheme."""
+    schemes = tuple(schemes)
+    specs = [parking_lot_spec(scheme, **kwargs) for scheme in schemes]
+    results = run_jobs(
+        specs, workers=workers, cache=cache, timeout=timeout,
+        retries=retries, progress=progress,
+    )
     rows: List[Dict] = []
-    for scheme in schemes:
-        rows.extend(run_parking_lot(scheme, **kwargs))
+    for scheme, res in zip(schemes, results):
+        if res.ok:
+            rows.extend(res.value["rows"])
+        else:
+            rows.append(
+                {
+                    "hop": "*",
+                    "scheme": scheme,
+                    "norm_queue": math.nan,
+                    "drop_rate": math.nan,
+                    "utilization": math.nan,
+                    "jain": math.nan,
+                    "failed": True,
+                    "error": res.error or "unknown failure",
+                }
+            )
     return rows
 
 

@@ -71,7 +71,7 @@ def _adaptive_red(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
         ecn=True,
         adaptive=True,
         mean_pkt_time=1.0 / pkt_rate,
-        rng=sim.stream("red"),
+        rng=sim.stream("red", unique=True),
     )
 
 
@@ -95,7 +95,7 @@ def _pi_queue(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
         sample_hz=sample_hz,
         ecn=True,
         sim=sim,
-        rng=sim.stream("pi"),
+        rng=sim.stream("pi", unique=True),
     )
 
 

@@ -1,33 +1,68 @@
 """Parameter-sweep driver shared by the Section 4 figures.
 
 Each of Figures 6-9 is a sweep of one dumbbell parameter with the four
-schemes overlaid; this module runs the grid and flattens results to rows
-(one per scheme x point) ready for :func:`repro.experiments.report.format_table`.
+schemes overlaid; this module expands the grid into deterministic job
+specs and hands them to :mod:`repro.runner`, which supplies process
+fan-out, on-disk result caching, per-job timeouts and crash isolation.
+Rows come back flattened (one per scheme x point) ready for
+:func:`repro.experiments.report.format_table`, in the same point-major
+order as the historical serial loop — the runner guarantees the rows are
+identical whether executed with ``workers=0`` (serial debug path),
+``workers=N``, or straight from cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from .common import DumbbellResult, run_dumbbell
+from ..runner import dumbbell_spec, run_jobs
+from .common import DumbbellResult
 
-__all__ = ["SECTION4_SCHEMES", "sweep_dumbbell", "result_row"]
+__all__ = ["SECTION4_SCHEMES", "sweep_dumbbell", "result_row", "failed_row"]
 
 #: the paper's Section 4 comparison set
 SECTION4_SCHEMES = ("pert", "sack-droptail", "sack-red-ecn", "vegas")
 
+#: headline metrics copied into every sweep row
+_ROW_FIELDS = (
+    "scheme",
+    "norm_queue",
+    "drop_rate",
+    "utilization",
+    "jain",
+    "mean_queue_pkts",
+    "buffer_pkts",
+)
 
-def result_row(result: DumbbellResult, point: Dict) -> Dict:
-    """Flatten a run result into a table row, tagged with sweep values."""
+
+def result_row(result, point: Dict) -> Dict:
+    """Flatten a run result into a table row, tagged with sweep values.
+
+    *result* may be a :class:`~repro.experiments.common.DumbbellResult`
+    or the equivalent JSON dict payload produced by the runner.
+    """
+    row = dict(point)
+    if isinstance(result, DumbbellResult):
+        row.update({name: getattr(result, name) for name in _ROW_FIELDS})
+    else:
+        row.update({name: result[name] for name in _ROW_FIELDS})
+    return row
+
+
+def failed_row(scheme: str, point: Dict, error: Optional[str]) -> Dict:
+    """Row marking a job that exhausted its retries; metrics are NaN."""
     row = dict(point)
     row.update(
-        scheme=result.scheme,
-        norm_queue=result.norm_queue,
-        drop_rate=result.drop_rate,
-        utilization=result.utilization,
-        jain=result.jain,
-        mean_queue_pkts=result.mean_queue_pkts,
-        buffer_pkts=result.buffer_pkts,
+        scheme=scheme,
+        norm_queue=math.nan,
+        drop_rate=math.nan,
+        utilization=math.nan,
+        jain=math.nan,
+        mean_queue_pkts=math.nan,
+        buffer_pkts=0,
+        failed=True,
+        error=error or "unknown failure",
     )
     return row
 
@@ -35,19 +70,48 @@ def result_row(result: DumbbellResult, point: Dict) -> Dict:
 def sweep_dumbbell(
     points: Sequence[Dict],
     schemes: Iterable[str] = SECTION4_SCHEMES,
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
     **base_kwargs,
 ) -> List[Dict]:
     """Run every scheme at every sweep point.
 
-    *points* are dicts of :func:`run_dumbbell` keyword overrides; any
-    extra keys the runner does not accept should not appear here — tag
-    columns are added by the caller via the point values themselves.
+    *points* are dicts of :func:`repro.experiments.common.run_dumbbell`
+    keyword overrides; any extra keys the runner does not accept should
+    not appear here — tag columns are added by the caller via the point
+    values themselves.
+
+    Execution goes through :func:`repro.runner.run_jobs`: ``workers``
+    selects process fan-out (``0`` = serial in-process fallback, ``None``
+    = ``$REPRO_WORKERS``), ``cache`` the on-disk result cache, and
+    ``timeout``/``retries`` the per-job failure policy.  A job that still
+    fails after its retries yields a NaN-metric row flagged
+    ``failed=True`` instead of aborting the sweep.
     """
-    rows: List[Dict] = []
+    schemes = tuple(schemes)
+    specs, tags = [], []
     for point in points:
         for scheme in schemes:
             kwargs = dict(base_kwargs)
             kwargs.update(point)
-            result = run_dumbbell(scheme, **kwargs)
-            rows.append(result_row(result, point))
+            specs.append(dumbbell_spec(scheme, **kwargs))
+            tags.append((scheme, point))
+    results = run_jobs(
+        specs,
+        workers=workers,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+    )
+    rows: List[Dict] = []
+    for res, (scheme, point) in zip(results, tags):
+        if res.ok:
+            rows.append(result_row(res.value, point))
+        else:
+            rows.append(failed_row(scheme, point, res.error))
     return rows

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from .common import run_dumbbell
+from ..runner import dumbbell_spec, run_jobs
 from .report import format_table
-from .sweep import SECTION4_SCHEMES, result_row
+from .sweep import SECTION4_SCHEMES, failed_row, result_row
 
 __all__ = ["run", "main", "PAPER_TABLE"]
 
@@ -54,11 +54,16 @@ def run(
     seed: int = 1,
     schemes: Sequence[str] = SECTION4_SCHEMES,
     rtts: Optional[List[float]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
 ) -> List[dict]:
     rtts = rtts if rtts is not None else default_rtts(n_fwd)
-    rows = []
-    for scheme in schemes:
-        result = run_dumbbell(
+    schemes = tuple(schemes)
+    specs = [
+        dumbbell_spec(
             scheme,
             bandwidth=bandwidth,
             n_fwd=n_fwd,
@@ -68,7 +73,18 @@ def run(
             warmup=warmup,
             seed=seed,
         )
-        row = result_row(result, {})
+        for scheme in schemes
+    ]
+    results = run_jobs(
+        specs, workers=workers, cache=cache, timeout=timeout,
+        retries=retries, progress=progress,
+    )
+    rows = []
+    for scheme, res in zip(schemes, results):
+        if res.ok:
+            row = result_row(res.value, {})
+        else:
+            row = failed_row(scheme, {}, res.error)
         paper = PAPER_TABLE.get(scheme, {})
         row["paper_Q"] = paper.get("Q", "")
         row["paper_F"] = paper.get("F", "")

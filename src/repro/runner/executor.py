@@ -1,0 +1,311 @@
+"""Process fan-out executor with caching, timeouts and bounded retry.
+
+Jobs are deterministic functions of their :class:`JobSpec`, so execution
+strategy is purely an operational choice:
+
+* ``workers=0`` — serial, in-process.  The debugging fallback: plain
+  stack traces, no forking, ``pdb`` works.  Timeouts cannot be enforced
+  without process isolation and are ignored (a warning-level note is in
+  the docs, not a runtime surprise).
+* ``workers=N`` — up to N concurrent **one-shot worker processes**, one
+  per job attempt.  One process per job (rather than a long-lived pool)
+  is what buys crash isolation: a segfaulting or diverging simulation
+  kills only its own process, the scheduler notices the dead/overdue
+  worker, retries up to ``retries`` times, and finally marks the job
+  failed — the rest of the sweep is unaffected.
+
+Results are returned in spec order regardless of completion order, which
+is what makes ``workers=N`` output row-for-row identical to ``workers=0``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .cache import ResultCache, resolve_cache
+from .registry import resolve_job
+from .spec import JobSpec
+from .telemetry import RunnerStats, resolve_progress
+
+__all__ = ["JobResult", "run_jobs", "resolve_workers"]
+
+#: scheduler poll interval while waiting on worker processes (seconds)
+_POLL_INTERVAL = 0.005
+#: grace period for a worker that already sent its result to exit
+_JOIN_GRACE = 5.0
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: payload on success, error text on failure."""
+
+    spec: JobSpec
+    status: str  # "ok" | "failed"
+    value: Any = None
+    error: Optional[str] = None
+    cached: bool = False
+    attempts: int = 0
+    wall_time: float = 0.0
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None`` honours ``$REPRO_WORKERS``; absent both, run serially."""
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(env) if env else 0
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _events_of(payload: Any) -> int:
+    """Simulator events reported by a job payload, if it carries any."""
+    if isinstance(payload, dict):
+        v = payload.get("events_processed")
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            return int(v)
+    return 0
+
+
+def _child_main(kind: str, params: dict, conn) -> None:
+    """Worker-process entry point: run one job, ship one message back."""
+    try:
+        payload = resolve_job(kind)(dict(params))
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - isolate *any* job failure
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Fork where available (fast, inherits runtime registrations)."""
+    method = os.environ.get("REPRO_MP_START", "").strip() or None
+    if method is None and "fork" in multiprocessing.get_all_start_methods():
+        method = "fork"
+    return multiprocessing.get_context(method)
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("index", "proc", "conn", "deadline", "attempt", "t0")
+
+    def __init__(self, index, proc, conn, deadline, attempt, t0):
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+        self.attempt = attempt
+        self.t0 = t0
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+) -> List[JobResult]:
+    """Execute *specs*, returning one :class:`JobResult` per spec, in order.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent worker processes; ``0`` runs serially in-process and
+        ``None`` defers to ``$REPRO_WORKERS`` (default serial).
+    cache:
+        See :func:`repro.runner.cache.resolve_cache`; ``None`` enables the
+        default on-disk cache, ``False`` disables caching.
+    timeout:
+        Per-attempt wall-clock limit in seconds; an overdue worker is
+        killed and the attempt counts as a failure.  Requires
+        ``workers > 0`` (process isolation) to be enforceable.
+    retries:
+        Extra attempts after a raised exception, crash, or timeout.
+    progress:
+        Callable invoked with the live :class:`RunnerStats` after each
+        job settles; ``None`` defers to ``$REPRO_PROGRESS``.
+    """
+    specs = list(specs)
+    n_workers = resolve_workers(workers)
+    store: Optional[ResultCache] = resolve_cache(cache)
+    hook = resolve_progress(progress)
+    stats = RunnerStats(total=len(specs))
+    results: List[Optional[JobResult]] = [None] * len(specs)
+
+    def settle(index: int, result: JobResult) -> None:
+        results[index] = result
+        if result.cached:
+            stats.cached += 1
+        elif result.ok:
+            stats.done += 1
+        else:
+            stats.failed += 1
+        stats.events += 0 if result.cached else _events_of(result.value)
+        if hook is not None:
+            hook(stats)
+
+    # ---- cache pass: satisfy what we can without simulating ------------
+    misses: List[int] = []
+    for i, spec in enumerate(specs):
+        entry = store.get(spec) if store is not None else None
+        if entry is not None:
+            settle(i, JobResult(
+                spec, "ok", value=entry["payload"], cached=True,
+                attempts=0, meta=entry.get("meta") or {},
+            ))
+        else:
+            misses.append(i)
+
+    if not misses:
+        return [r for r in results if r is not None]
+
+    def record_success(index: int, payload: Any, attempt: int, wall: float) -> None:
+        spec = specs[index]
+        meta = {"events": _events_of(payload), "wall_time": wall, "attempts": attempt}
+        if store is not None:
+            store.put(spec, payload, meta=meta)
+        settle(index, JobResult(
+            spec, "ok", value=payload, attempts=attempt, wall_time=wall, meta=meta,
+        ))
+
+    if n_workers == 0:
+        _run_serial(specs, misses, retries, stats, record_success, settle)
+    else:
+        _run_parallel(
+            specs, misses, n_workers, timeout, retries, stats,
+            record_success, settle,
+        )
+    return [r for r in results if r is not None]
+
+
+# ----------------------------------------------------------------------
+# serial fallback
+# ----------------------------------------------------------------------
+def _run_serial(specs, misses, retries, stats, record_success, settle) -> None:
+    for index in misses:
+        spec = specs[index]
+        error = None
+        for attempt in range(1, retries + 2):
+            if attempt > 1:
+                stats.retries += 1
+            t0 = time.monotonic()
+            try:
+                payload = resolve_job(spec.kind)(dict(spec.params))
+            except Exception as exc:  # noqa: BLE001 - keep the sweep alive
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            record_success(index, payload, attempt, time.monotonic() - t0)
+            break
+        else:
+            settle(index, JobResult(
+                spec, "failed", error=error, attempts=retries + 1,
+            ))
+
+
+# ----------------------------------------------------------------------
+# process fan-out
+# ----------------------------------------------------------------------
+def _run_parallel(
+    specs, misses, n_workers, timeout, retries, stats, record_success, settle
+) -> None:
+    ctx = _mp_context()
+    queue: List[tuple] = [(i, 1) for i in misses]  # (spec index, attempt no.)
+    queue.reverse()  # pop() from the tail keeps submission order
+    running: List[_Running] = []
+
+    def launch(index: int, attempt: int) -> None:
+        spec = specs[index]
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(spec.kind, spec.params, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        now = time.monotonic()
+        deadline = now + timeout if timeout is not None else None
+        running.append(_Running(index, proc, parent_conn, deadline, attempt, now))
+
+    def reap(slot: _Running) -> None:
+        slot.conn.close()
+        if slot.proc.is_alive():
+            slot.proc.terminate()
+            slot.proc.join(_JOIN_GRACE)
+            if slot.proc.is_alive():  # pragma: no cover - stubborn child
+                slot.proc.kill()
+                slot.proc.join(_JOIN_GRACE)
+        else:
+            slot.proc.join()
+
+    def retry_or_fail(slot: _Running, error: str) -> None:
+        if slot.attempt <= retries:
+            stats.retries += 1
+            queue.append((slot.index, slot.attempt + 1))
+        else:
+            settle(slot.index, JobResult(
+                specs[slot.index], "failed", error=error, attempts=slot.attempt,
+            ))
+
+    try:
+        while queue or running:
+            while queue and len(running) < n_workers:
+                index, attempt = queue.pop()
+                launch(index, attempt)
+
+            now = time.monotonic()
+            still_running: List[_Running] = []
+            progressed = False
+            for slot in running:
+                message = None
+                if slot.conn.poll():
+                    try:
+                        message = slot.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                if message is not None:
+                    status, body = message
+                    reap(slot)
+                    wall = now - slot.t0
+                    if status == "ok":
+                        record_success(slot.index, body, slot.attempt, wall)
+                    else:
+                        retry_or_fail(slot, body)
+                    progressed = True
+                elif not slot.proc.is_alive():
+                    reap(slot)
+                    retry_or_fail(
+                        slot,
+                        f"worker crashed without result "
+                        f"(exit code {slot.proc.exitcode})",
+                    )
+                    progressed = True
+                elif slot.deadline is not None and now > slot.deadline:
+                    reap(slot)
+                    retry_or_fail(slot, f"timed out after {timeout}s")
+                    progressed = True
+                else:
+                    still_running.append(slot)
+            running = still_running
+            if not progressed and running:
+                time.sleep(_POLL_INTERVAL)
+    finally:
+        for slot in running:  # pragma: no cover - only on interrupt
+            reap(slot)

@@ -1,0 +1,83 @@
+"""Job-kind registry: names that worker processes resolve to callables.
+
+A job function takes the spec's ``params`` dict and returns a
+JSON-serializable payload.  Two resolution mechanisms:
+
+* built-in / registered kinds — functions registered via :func:`register`
+  in this module (importable from any worker, including spawn-start
+  children, because registration happens at import time of
+  ``repro.runner.registry``);
+* dotted paths — a kind containing ``:`` is resolved as
+  ``"package.module:function"``.  This is the extension point tests and
+  downstream code use without touching the registry.
+
+Runtime registrations made by the parent after import are visible to
+fork-start workers (the default on Linux) but not to spawn-start ones;
+dotted paths work everywhere.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Dict
+
+__all__ = ["register", "resolve_job", "registered_kinds"]
+
+_REGISTRY: Dict[str, Callable[[dict], Any]] = {}
+
+
+def register(kind: str) -> Callable:
+    """Decorator: make *fn* invokable as job kind *kind*."""
+
+    def deco(fn: Callable[[dict], Any]) -> Callable[[dict], Any]:
+        _REGISTRY[kind] = fn
+        return fn
+
+    return deco
+
+
+def registered_kinds():
+    """Snapshot of the registered kind names (for introspection/tests)."""
+    return sorted(_REGISTRY)
+
+
+def resolve_job(kind: str) -> Callable[[dict], Any]:
+    """Map a spec ``kind`` to its callable; raises ``KeyError`` if unknown."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        pass
+    if ":" in kind:
+        module_name, attr = kind.split(":", 1)
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, attr)
+        except AttributeError:
+            raise KeyError(f"no attribute {attr!r} in module {module_name!r}") from None
+    raise KeyError(
+        f"unknown job kind {kind!r}; registered: {registered_kinds()} "
+        f"(or use a 'module:function' dotted path)"
+    )
+
+
+@register("dumbbell")
+def run_dumbbell_job(params: dict) -> Dict[str, Any]:
+    """One dumbbell point: flatten the result dataclass to a JSON dict."""
+    from ..experiments.common import DumbbellResult, run_dumbbell
+
+    result = run_dumbbell(**params)
+    return {
+        f.name: getattr(result, f.name)
+        for f in dataclass_fields(DumbbellResult)
+        if f.name != "extras"
+    }
+
+
+@register("parking_lot")
+def run_parking_lot_job(params: dict) -> Dict[str, Any]:
+    """One Figure-11 parking-lot run (all hops of one scheme)."""
+    from ..experiments.fig11_multibottleneck import run_parking_lot
+
+    rows = run_parking_lot(**params)
+    return {"rows": rows}

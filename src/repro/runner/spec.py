@@ -1,0 +1,96 @@
+"""Deterministic job specifications and stable cache keys.
+
+A :class:`JobSpec` is a pure-data description of one simulation job: a
+registered job *kind* (see :mod:`repro.runner.registry`) plus a
+JSON-serializable parameter mapping.  Because the simulator is a
+deterministic function of its parameters and seed, the spec fully
+determines the result — which is what makes both process fan-out and
+on-disk caching safe: the cache key is a SHA-256 over the canonical JSON
+encoding of the spec, salted with the package version and a cache schema
+number so that result-format or engine-version changes invalidate stale
+entries instead of silently serving them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .. import __version__
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "JobSpec",
+    "canonical_json",
+    "dumbbell_spec",
+    "parking_lot_spec",
+]
+
+#: bump when the payload layout of cached results changes incompatibly
+CACHE_SCHEMA = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable JSON encoding: sorted keys, no whitespace, shortest floats.
+
+    Raises ``TypeError`` for values that cannot round-trip through JSON,
+    which is deliberate — a spec that cannot be serialized cannot be
+    hashed, cached, or shipped to a worker process.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work for the runner: ``kind`` + JSON params."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Fail fast (at spec-construction time, in the parent process)
+        # rather than deep inside a worker: params must be JSON-clean.
+        canonical_json(self.params)
+
+    @property
+    def cache_key(self) -> str:
+        """Hex SHA-256 uniquely identifying this job's result."""
+        material = (
+            f"{CACHE_SCHEMA}|{__version__}|{self.kind}|"
+            f"{canonical_json(self.params)}"
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human label for logs: kind plus the identifying params."""
+        scheme = self.params.get("scheme")
+        seed = self.params.get("seed")
+        bits = [self.kind]
+        if scheme is not None:
+            bits.append(str(scheme))
+        if seed is not None:
+            bits.append(f"seed={seed}")
+        return "/".join(bits)
+
+
+def dumbbell_spec(scheme: str, **kwargs) -> JobSpec:
+    """Spec for one :func:`repro.experiments.common.run_dumbbell` point.
+
+    The seed is made explicit (defaulting to ``run_dumbbell``'s own
+    default of 1) so that the cache key always covers scheme + kwargs +
+    seed, even when the caller relies on the default.
+    """
+    params = dict(kwargs)
+    params["scheme"] = scheme
+    params.setdefault("seed", 1)
+    return JobSpec(kind="dumbbell", params=params)
+
+
+def parking_lot_spec(scheme: str, **kwargs) -> JobSpec:
+    """Spec for one parking-lot run (Figure 11), one scheme per job."""
+    params = dict(kwargs)
+    params["scheme"] = scheme
+    params.setdefault("seed", 1)
+    return JobSpec(kind="parking_lot", params=params)

@@ -1,0 +1,84 @@
+"""Progress counters and hooks for runner executions.
+
+The executor updates one :class:`RunnerStats` per call to
+:func:`repro.runner.run_jobs` and invokes the user's ``progress`` hook
+with it after every job settles (fresh completion, cache hit, or final
+failure).  ``events`` counts simulator events actually processed this
+run — cache hits contribute nothing — so ``events_per_second`` is the
+live simulation throughput the ROADMAP cares about.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = ["RunnerStats", "progress_printer", "resolve_progress"]
+
+ProgressHook = Callable[["RunnerStats"], None]
+
+
+@dataclass
+class RunnerStats:
+    """Live counters for one ``run_jobs`` call."""
+
+    total: int
+    done: int = 0  # fresh, successful jobs
+    failed: int = 0  # jobs that exhausted their retries
+    cached: int = 0  # served from the on-disk cache
+    retries: int = 0  # extra attempts consumed
+    events: int = 0  # simulator events processed by fresh jobs
+    started: float = field(default_factory=time.monotonic)
+
+    @property
+    def finished(self) -> int:
+        return self.done + self.failed + self.cached
+
+    def elapsed(self) -> float:
+        return max(1e-9, time.monotonic() - self.started)
+
+    def events_per_second(self) -> float:
+        return self.events / self.elapsed()
+
+    def snapshot(self) -> Dict:
+        """Immutable plain-dict view (handy for asserting in tests)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "cached": self.cached,
+            "retries": self.retries,
+            "events": self.events,
+            "elapsed": self.elapsed(),
+            "events_per_second": self.events_per_second(),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.finished}/{self.total} jobs "
+            f"({self.cached} cached, {self.failed} failed, "
+            f"{self.retries} retries) "
+            f"{self.events_per_second():,.0f} events/s"
+        )
+
+
+def progress_printer(stream=None) -> ProgressHook:
+    """Hook that logs one summary line per settled job (stderr default)."""
+    out = stream if stream is not None else sys.stderr
+
+    def hook(stats: RunnerStats) -> None:
+        print(f"[repro.runner] {stats.summary()}", file=out, flush=True)
+
+    return hook
+
+
+def resolve_progress(progress) -> Optional[ProgressHook]:
+    """``None`` honours ``$REPRO_PROGRESS``; callables pass through."""
+    if progress is not None:
+        return progress if callable(progress) else None
+    if os.environ.get("REPRO_PROGRESS", "").strip().lower() in {"1", "on", "true", "yes"}:
+        return progress_printer()
+    return None

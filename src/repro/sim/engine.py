@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -74,13 +74,43 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_processed = 0
+        self._stream_labels: Set[str] = set()
+        self._stream_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # random-number streams
     # ------------------------------------------------------------------
-    def stream(self, label: str) -> random.Random:
-        """Return an independent, reproducible RNG stream for *label*."""
+    def stream(self, label: str, *, unique: bool = False) -> random.Random:
+        """Return an independent, reproducible RNG stream for *label*.
+
+        Each label may be claimed only once per simulator: two components
+        silently deriving the same stream would draw identical (perfectly
+        correlated) random sequences, which is almost never intended, so a
+        repeated label raises :class:`SimulationError`.  Components that
+        are instantiated more than once per simulation (queue factories,
+        jitter links, ...) pass ``unique=True`` to have a deterministic
+        ``label``, ``label#1``, ``label#2``, ... suffix appended in
+        claim order instead.
+        """
+        if unique:
+            label = self._unique_label(label)
+        if label in self._stream_labels:
+            raise SimulationError(
+                f"RNG stream label {label!r} already claimed; use a distinct "
+                f"label or stream(..., unique=True) for per-instance streams"
+            )
+        self._stream_labels.add(label)
         return random.Random(f"{self.seed}/{label}")
+
+    def _unique_label(self, prefix: str) -> str:
+        """Deterministically suffix *prefix* so it has never been claimed."""
+        n = self._stream_counts.get(prefix, 0)
+        label = prefix if n == 0 else f"{prefix}#{n}"
+        while label in self._stream_labels:
+            n += 1
+            label = f"{prefix}#{n}"
+        self._stream_counts[prefix] = n + 1
+        return label
 
     # ------------------------------------------------------------------
     # scheduling

@@ -43,7 +43,7 @@ class JitterLink(Link):
         if jitter < 0:
             raise ValueError("jitter must be >= 0")
         self.jitter = jitter
-        self.rng = rng or sim.stream("jitter")
+        self.rng = rng or sim.stream("jitter", unique=True)
         self.reorder_opportunities = 0
         self._last_arrival = 0.0
 

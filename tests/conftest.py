@@ -2,12 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.queues import DropTailQueue
 from repro.sim.topology import Dumbbell
 from repro.tcp.base import TcpSender, connect_flow
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runner_env(tmp_path_factory):
+    """Keep runner state hermetic: tmp cache dir, no ambient env knobs."""
+    saved = {
+        k: os.environ.pop(k, None)
+        for k in ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_WORKERS",
+                  "REPRO_PROGRESS", "REPRO_MP_START")
+    }
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    for k, v in saved.items():
+        if v is None:
+            os.environ.pop(k, None)
+        else:
+            os.environ[k] = v
 
 
 @pytest.fixture

@@ -1,0 +1,88 @@
+"""Golden-value determinism regression tests.
+
+These pin (a) the engine's same-time event ordering and (b) the headline
+metrics of one fixed (scheme, seed) dumbbell point, so engine or harness
+refactors cannot silently shift every reproduced figure.  If a change
+*intends* to alter simulation behaviour, these goldens must be updated
+deliberately in the same commit — that is the point.
+"""
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+from repro.sim.engine import Simulator
+
+GOLDEN_KW = dict(bandwidth=4e6, rtt=0.05, n_fwd=3, duration=8.0,
+                 warmup=3.0, seed=2)
+
+#: headline metrics for run_dumbbell("pert", **GOLDEN_KW); droptail
+#: bottleneck, so independent of any queue RNG stream labelling.
+PERT_GOLDEN = {
+    "mean_queue_pkts": 4.330677290836653,
+    "norm_queue": 0.1732270916334661,
+    "drop_rate": 0.0,
+    "utilization": 0.968,
+    "jain": 0.995977247827996,
+}
+PERT_GOLDEN_INTS = {
+    "buffer_pkts": 25,
+    "events_processed": 44729,
+    "timeouts": 0,
+    "early_responses": 111,
+}
+PERT_GOLDEN_GOODPUTS = [1363200.0, 1176000.0, 1332800.0]
+
+#: same point under sack-red-ecn — additionally pins the RED queue's
+#: per-instance RNG stream labelling ("red" fwd, "red#1" rev).
+RED_GOLDEN = {
+    "mean_queue_pkts": 15.131474103585658,
+    "norm_queue": 0.6052589641434263,
+    "drop_rate": 0.004375497215592681,
+    "mark_rate": 0.003977724741447892,
+    "utilization": 1.0,
+    "jain": 0.8612253210716897,
+}
+
+
+def test_engine_same_time_events_fire_in_schedule_order():
+    """Ties on the event clock break by schedule sequence — exactly."""
+    sim = Simulator(seed=1)
+    order = []
+
+    def nested(tag):
+        order.append(tag)
+        # same-instant events scheduled *during* the run still honour
+        # schedule order relative to each other, after already-queued ones
+        if tag == "b1":
+            sim.schedule(0.0, order.append, "b1.child1")
+            sim.schedule(0.0, order.append, "b1.child2")
+
+    sim.schedule(2.0, order.append, "c")
+    sim.schedule(1.0, nested, "b1")
+    sim.schedule(1.0, order.append, "b2")
+    ev = sim.schedule(1.0, order.append, "b-cancelled")
+    sim.schedule(1.0, order.append, "b3")
+    sim.schedule(0.5, order.append, "a")
+    ev.cancel()
+    sim.run()
+    assert order == ["a", "b1", "b2", "b3", "b1.child1", "b1.child2", "c"]
+
+
+def test_engine_event_count_is_deterministic():
+    a = run_dumbbell("pert", **GOLDEN_KW)
+    assert a.events_processed == PERT_GOLDEN_INTS["events_processed"]
+
+
+def test_run_dumbbell_pert_golden_metrics():
+    r = run_dumbbell("pert", **GOLDEN_KW)
+    for name, expected in PERT_GOLDEN.items():
+        assert getattr(r, name) == pytest.approx(expected, rel=1e-12, abs=1e-15), name
+    for name, expected in PERT_GOLDEN_INTS.items():
+        assert getattr(r, name) == expected, name
+    assert r.flow_goodputs_bps == pytest.approx(PERT_GOLDEN_GOODPUTS, rel=1e-12)
+
+
+def test_run_dumbbell_red_golden_metrics():
+    r = run_dumbbell("sack-red-ecn", **GOLDEN_KW)
+    for name, expected in RED_GOLDEN.items():
+        assert getattr(r, name) == pytest.approx(expected, rel=1e-12, abs=1e-15), name

@@ -1,0 +1,46 @@
+"""Job functions for runner fault-injection tests.
+
+Referenced by dotted-path kind (``"tests.runner.jobs:boom"``) so both the
+in-process serial path and forked worker processes can resolve them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+
+def echo(params: dict) -> dict:
+    """Trivially succeed, returning the input value."""
+    return {"value": params["value"]}
+
+
+def events(params: dict) -> dict:
+    """Succeed while reporting fake simulator-event telemetry."""
+    return {"value": params["value"], "events_processed": params.get("events", 100)}
+
+
+def boom(params: dict) -> dict:
+    """Always raise."""
+    raise RuntimeError("injected failure")
+
+
+def sleepy(params: dict) -> dict:
+    """Hang well past any reasonable test timeout."""
+    time.sleep(params.get("seconds", 60.0))
+    return {"ok": True}
+
+
+def crash(params: dict) -> dict:
+    """Die without sending a result (simulates a segfaulting worker)."""
+    os._exit(3)
+
+
+def flaky(params: dict) -> dict:
+    """Fail on the first attempt, succeed on the next (marker on disk)."""
+    marker = pathlib.Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("attempt 1 failed")
+        raise RuntimeError("flaky first attempt")
+    return {"ok": True, "recovered": True}

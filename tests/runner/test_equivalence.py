@@ -1,0 +1,101 @@
+"""Equivalence suite: serial, parallel, and cached paths are identical.
+
+This is the contract that makes the runner safe to put under every
+figure: fan-out and caching are pure execution strategies and must never
+change a single row.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_dumbbell
+from repro.runner import ResultCache, dumbbell_spec, run_jobs
+
+#: tiny but non-trivial 2-scheme x 3-point grid (seconds, not minutes)
+GRID_POINTS = [{"bandwidth": 1e6}, {"bandwidth": 2e6}, {"bandwidth": 3e6}]
+GRID_SCHEMES = ("pert", "sack-droptail")
+GRID_KW = dict(n_fwd=2, duration=3.0, warmup=1.0, seed=3)
+
+
+def run_grid(**overrides):
+    kw = dict(GRID_KW)
+    kw.update(overrides)
+    return sweep_dumbbell(GRID_POINTS, schemes=GRID_SCHEMES, **kw)
+
+
+def test_parallel_rows_equal_serial_rows_exactly():
+    serial = run_grid(workers=0, cache=False)
+    parallel = run_grid(workers=2, cache=False)
+    assert len(serial) == len(GRID_POINTS) * len(GRID_SCHEMES)
+    assert parallel == serial  # row-for-row, bit-for-bit
+
+
+def test_second_run_is_fully_cached_with_identical_rows(tmp_path):
+    snaps = []
+    first = run_grid(workers=2, cache=tmp_path,
+                     progress=lambda s: snaps.append(s.snapshot()))
+    assert snaps[-1]["done"] == len(first)
+    assert snaps[-1]["cached"] == 0
+    assert snaps[-1]["events"] > 0  # live-simulation throughput telemetry
+
+    snaps.clear()
+    second = run_grid(workers=2, cache=tmp_path,
+                      progress=lambda s: snaps.append(s.snapshot()))
+    assert second == first
+    assert snaps[-1]["cached"] == len(first)  # 100% cache hits
+    assert snaps[-1]["done"] == 0 and snaps[-1]["failed"] == 0
+
+
+def test_cache_serves_serial_and_parallel_paths_alike(tmp_path):
+    serial = run_grid(workers=0, cache=tmp_path)
+    cached_parallel = run_grid(workers=2, cache=tmp_path)
+    assert cached_parallel == serial
+
+
+def test_partial_cache_only_simulates_new_points(tmp_path):
+    run_grid(workers=0, cache=tmp_path)
+    extra_point = [{"bandwidth": 4e6}]
+    snaps = []
+    rows = sweep_dumbbell(
+        GRID_POINTS + extra_point, schemes=GRID_SCHEMES, workers=0,
+        cache=tmp_path, progress=lambda s: snaps.append(s.snapshot()),
+        **GRID_KW,
+    )
+    assert len(rows) == (len(GRID_POINTS) + 1) * len(GRID_SCHEMES)
+    assert snaps[-1]["cached"] == len(GRID_POINTS) * len(GRID_SCHEMES)
+    assert snaps[-1]["done"] == len(GRID_SCHEMES)  # only the new point ran
+
+
+def test_run_jobs_preserves_spec_order_under_fanout(tmp_path):
+    specs = [
+        dumbbell_spec(scheme, bandwidth=bw, **GRID_KW)
+        for bw in (1e6, 2e6, 3e6)
+        for scheme in GRID_SCHEMES
+    ]
+    results = run_jobs(specs, workers=3, cache=ResultCache(tmp_path))
+    assert [r.spec for r in results] == specs
+    assert all(r.ok for r in results)
+    # payloads match a direct serial execution of the same specs
+    serial = run_jobs(specs, workers=0, cache=False)
+    assert [r.value for r in results] == [r.value for r in serial]
+
+
+def test_cached_payload_equals_fresh_payload_via_json(tmp_path):
+    spec = dumbbell_spec("pert", bandwidth=2e6, **GRID_KW)
+    fresh = run_jobs([spec], workers=0, cache=ResultCache(tmp_path))[0]
+    cached = run_jobs([spec], workers=0, cache=ResultCache(tmp_path))[0]
+    assert not fresh.cached and cached.cached
+    # JSON round-trip through the cache must not perturb any value
+    assert cached.value == fresh.value
+
+
+def test_failed_jobs_yield_marked_rows_not_exceptions():
+    rows = sweep_dumbbell(
+        [{"bandwidth": 2e6}], schemes=("pert", "no-such-scheme"),
+        workers=0, cache=False, retries=0, **GRID_KW,
+    )
+    ok = [r for r in rows if not r.get("failed")]
+    bad = [r for r in rows if r.get("failed")]
+    assert len(ok) == 1 and ok[0]["scheme"] == "pert"
+    assert len(bad) == 1 and bad[0]["scheme"] == "no-such-scheme"
+    assert "error" in bad[0]
+    assert bad[0]["norm_queue"] != bad[0]["norm_queue"]  # NaN marker

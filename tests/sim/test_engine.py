@@ -118,6 +118,34 @@ def test_streams_are_reproducible_and_independent():
     assert a1 != c
 
 
+def test_stream_label_collision_rejected():
+    sim = Simulator(seed=7)
+    sim.stream("starts")
+    with pytest.raises(SimulationError):
+        sim.stream("starts")  # silently shared streams are a bug
+
+
+def test_unique_streams_get_deterministic_suffixes():
+    sim = Simulator(seed=7)
+    r0 = sim.stream("red", unique=True)  # claims bare "red"
+    r1 = sim.stream("red", unique=True)  # claims "red#1"
+    r2 = sim.stream("red", unique=True)  # claims "red#2"
+    ref = Simulator(seed=7)
+    assert r0.random() == ref.stream("red").random()
+    assert r1.random() == ref.stream("red#1").random()
+    assert r2.random() == ref.stream("red#2").random()
+    # first unique claim matches the historical bare label, so existing
+    # single-instance simulations keep their exact random sequences
+    assert r0.random() != r1.random() or r0.random() != r2.random()
+
+
+def test_unique_stream_skips_explicitly_claimed_labels():
+    sim = Simulator(seed=7)
+    sim.stream("red")  # explicit bare claim first
+    r = sim.stream("red", unique=True)  # must not collide: gets "red#1"
+    assert r.random() == Simulator(seed=7).stream("red#1").random()
+
+
 def test_run_not_reentrant():
     sim = Simulator()
     err = []

@@ -113,7 +113,7 @@ def test_ecn_sender_reduces_once_per_rtt():
 
     def red():
         return RedQueue(capacity_pkts=100, min_th=4, max_th=12, max_p=0.5,
-                        w_q=0.2, ecn=True, rng=sim.stream("red"))
+                        w_q=0.2, ecn=True, rng=sim.stream("red", unique=True))
 
     db = make_dumbbell(sim, bw=4e6, qdisc_factory=red)
     sender, sink = make_flow(sim, db, sender_cls=SackEcnSender)

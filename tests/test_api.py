@@ -37,6 +37,12 @@ MODULES = [
     "repro.fluid.stability",
     "repro.metrics",
     "repro.experiments",
+    "repro.runner",
+    "repro.runner.spec",
+    "repro.runner.cache",
+    "repro.runner.registry",
+    "repro.runner.executor",
+    "repro.runner.telemetry",
 ]
 
 
