@@ -107,3 +107,5 @@ class PertSender(TcpSender):
         factor = 1.0 - self.config.early_decrease
         self.cwnd = max(2.0, self.cwnd * factor)
         self.ssthresh = max(2.0, self.cwnd)
+        if self.obs is not None:
+            self.obs.sender_event(self, "early_response", self.sim.now)

@@ -91,6 +91,12 @@ def _runner_env(args) -> Dict[str, Optional[str]]:
         env["REPRO_CACHE_DIR"] = args.cache_dir
     if args.progress:
         env["REPRO_PROGRESS"] = "1"
+    if args.obs:
+        env["REPRO_OBS"] = "1"
+    if args.trace:
+        env["REPRO_TRACE"] = "1"
+    if args.profile:
+        env["REPRO_PROFILE"] = "1"
     return env
 
 
@@ -120,6 +126,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--progress", action="store_true",
         help="log per-job runner progress (jobs done/cached/failed, events/s)",
+    )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect in-sim metrics; each fresh job writes a run manifest "
+             "next to its cache entry (read by 'python -m repro.obs report')",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="also write a schema-versioned JSONL event trace per fresh job "
+             "(implies --obs)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample event-callback timings in each job (adds a 'profile' "
+             "section to manifests; slows the run)",
     )
     args = parser.parse_args(argv)
 

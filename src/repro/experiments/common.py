@@ -18,10 +18,12 @@ product, with a floor of twice the number of flows.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics.fairness import jain_index
+from ..obs import runtime as obs_runtime
 from ..sim.engine import Simulator
 from ..sim.monitors import DropLog, LinkWindow, QueueSampler
 from ..sim.topology import Dumbbell
@@ -100,6 +102,7 @@ def run_dumbbell(
     record_rtt_flow: Optional[int] = None,
     queue_sample_interval: float = 0.02,
     keep_refs: bool = False,
+    collector=None,
 ) -> DumbbellResult:
     """Run one dumbbell experiment point and return steady-state metrics.
 
@@ -126,8 +129,18 @@ def run_dumbbell(
         plus a fine-grained queue sampler in ``extras["queue_sampler"]``).
     keep_refs:
         Also return live simulator objects in ``extras`` (for tests).
+    collector:
+        Optional :class:`repro.obs.Collector` to attach to the
+        bottleneck queues, link and senders.  ``None`` uses the active
+        job observation's collector (if the runner enabled one); pass
+        ``False`` to force observability off.  Attachment is passive —
+        results are identical with or without a collector.
     """
     spec: Scheme = get_scheme(scheme)
+    if collector is None:
+        collector = obs_runtime.active_collector()
+    elif collector is False:
+        collector = None
     if rtts is not None and len(rtts) != n_fwd:
         raise ValueError("rtts must have one entry per forward flow")
     flow_rtts = rtts if rtts is not None else [rtt] * max(n_fwd, 1)
@@ -147,7 +160,9 @@ def run_dumbbell(
     left_delays = (fwd_access + pad * n_hosts)[:n_hosts]
     right_delays = list(left_delays)
 
+    _setup_t0 = time.monotonic()
     sim = Simulator(seed=seed)
+    sim.profiler = obs_runtime.active_profiler()
     sender_kwargs = scheme_sender_kwargs(spec, bandwidth, pkt_size, n_fwd, base_rtt)
 
     def fwd_qdisc():
@@ -214,11 +229,26 @@ def run_dumbbell(
         interval=queue_sample_interval if record_rtt_flow is None else 0.005,
     )
 
-    sim.run(until=warmup)
+    if collector is not None:
+        collector.attach_queue(db.bottleneck_queue, "bottleneck.fwd", bandwidth=bandwidth)
+        collector.attach_queue(db.rev.qdisc, "bottleneck.rev", bandwidth=bandwidth)
+        collector.attach_link(db.fwd, "bottleneck.fwd")
+        for sender, _ in fwd_flows + rev_flows:
+            collector.attach_sender(sender)
+
+    _active = obs_runtime.active()
+    if _active is not None:
+        _active.add_phase("setup", time.monotonic() - _setup_t0)
+
+    with obs_runtime.phase("warmup"):
+        sim.run(until=warmup)
     window.open()
     goodput0 = [sink.rcv_next for _, sink in fwd_flows]
-    sim.run(until=duration)
+    with obs_runtime.phase("measure"):
+        sim.run(until=duration)
     window.close()
+    if collector is not None:
+        collector.finalize(sim)
 
     span = duration - warmup
     goodputs = [

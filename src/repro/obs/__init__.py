@@ -1,0 +1,64 @@
+"""Observability layer: metrics, traces, run manifests and reporting.
+
+The simulation engine, links, queue disciplines and TCP senders all
+carry an ``obs`` attachment point that defaults to ``None``; when a
+:class:`Collector` is attached they publish structured signals into a
+deterministic :class:`MetricsRegistry` and (optionally) a
+schema-versioned JSONL trace.  The runner writes one manifest per job
+next to its cache entry, and ``python -m repro.obs report <run-dir>``
+turns a directory of manifests/traces into wall-time, throughput and
+queue-behaviour summaries.
+
+Everything here is strictly passive: attaching a collector schedules no
+simulator events and draws from no RNG stream, so instrumented and
+uninstrumented runs produce bit-identical results (pinned by a golden
+test).  See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from .collect import Collector
+from .manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifests,
+    write_manifest,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import SamplingProfiler
+from .records import TRACE_SCHEMA, record, validate_record
+from .report import format_table, generate_report
+from .runtime import (
+    JobObservation,
+    ObsFlags,
+    active,
+    observe_job,
+    phase,
+    resolve_obs_flags,
+)
+from .trace import iter_trace, read_trace, write_trace
+
+__all__ = [
+    "Collector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JobObservation",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "ObsFlags",
+    "SamplingProfiler",
+    "TRACE_SCHEMA",
+    "active",
+    "build_manifest",
+    "format_table",
+    "generate_report",
+    "iter_trace",
+    "load_manifests",
+    "observe_job",
+    "phase",
+    "read_trace",
+    "record",
+    "resolve_obs_flags",
+    "validate_record",
+    "write_manifest",
+    "write_trace",
+]

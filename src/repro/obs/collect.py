@@ -1,0 +1,261 @@
+"""The Collector: where component hooks publish metrics and trace records.
+
+Instrumented components (queue disciplines, links, TCP senders) carry an
+``obs`` attribute that is ``None`` by default; the hot-path cost of the
+instrumentation when disabled is one attribute load and an ``is None``
+test per hook site (guarded by ``tests/obs/test_overhead.py``).
+Attaching a component points its ``obs`` at a :class:`Collector` and
+registers a small per-component instrument holding pre-resolved counter
+and histogram references, so the enabled path does no dict lookups by
+metric name per event either.
+
+Design rule (pinned by the obs-on/off golden test): a collector never
+schedules simulator events, never draws randomness, and never mutates
+the objects it observes beyond the ``obs``/``obs_label`` attachment
+fields — so enabling collection cannot perturb a simulation.  "Periodic"
+queue/cwnd samples are therefore evaluated lazily at hook time: a sample
+record is emitted at most once per ``sample_interval`` of simulated
+time, timestamped with the event that triggered it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .metrics import (
+    CWND_EDGES,
+    QUEUE_DELAY_EDGES,
+    QUEUE_LEN_EDGES,
+    MetricsRegistry,
+)
+from .records import TRACE_SCHEMA
+
+__all__ = ["Collector"]
+
+
+class _QueueInstrument:
+    __slots__ = (
+        "qdisc", "label", "bandwidth", "next_sample",
+        "c_enqueues", "c_drops", "c_forced", "c_marks",
+        "h_qlen", "h_delay",
+    )
+
+    def __init__(self, qdisc, label: str, bandwidth: Optional[float], reg: MetricsRegistry):
+        self.qdisc = qdisc
+        self.label = label
+        self.bandwidth = bandwidth
+        self.next_sample = 0.0
+        base = f"queue.{label}"
+        self.c_enqueues = reg.counter(f"{base}.enqueues")
+        self.c_drops = reg.counter(f"{base}.drops")
+        self.c_forced = reg.counter(f"{base}.forced_drops")
+        self.c_marks = reg.counter(f"{base}.marks")
+        self.h_qlen = reg.histogram(f"{base}.qlen", QUEUE_LEN_EDGES)
+        self.h_delay = reg.histogram(f"{base}.delay", QUEUE_DELAY_EDGES)
+
+
+class _SenderInstrument:
+    __slots__ = (
+        "sender", "label", "next_sample",
+        "c_early", "c_timeouts", "h_cwnd",
+    )
+
+    def __init__(self, sender, label: str, reg: MetricsRegistry):
+        self.sender = sender
+        self.label = label
+        self.next_sample = 0.0
+        base = f"flow.{label}"
+        self.c_early = reg.counter(f"{base}.early_responses")
+        self.c_timeouts = reg.counter(f"{base}.timeouts")
+        self.h_cwnd = reg.histogram(f"{base}.cwnd", CWND_EDGES)
+
+
+class _LinkInstrument:
+    __slots__ = ("link", "label", "next_sample")
+
+    def __init__(self, link, label: str):
+        self.link = link
+        self.label = label
+        self.next_sample = 0.0
+
+
+class Collector:
+    """Aggregates metrics and (optionally) trace records for one run.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to publish into (a fresh one by default).
+    trace:
+        Keep per-event trace records (enqueue/drop/mark/early-response/
+        timeout plus periodic samples) in :attr:`records` for the JSONL
+        sink.  Off by default because packet-event traces grow with the
+        event count.
+    sample_interval:
+        Minimum simulated seconds between consecutive ``queue_sample`` /
+        ``cwnd_sample`` / ``link_sample`` emissions per component.
+    trace_packet_events:
+        When tracing, also record one ``enqueue`` record per admitted
+        packet (the chattiest record type).  Drops and marks are always
+        recorded when tracing.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace: bool = False,
+        sample_interval: float = 0.1,
+        trace_packet_events: bool = True,
+    ):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.records: Optional[List[dict]] = [] if trace else None
+        self.sample_interval = sample_interval
+        self.trace_packet_events = trace_packet_events
+        self._queues: Dict[int, _QueueInstrument] = {}
+        self._senders: Dict[int, _SenderInstrument] = {}
+        self._links: Dict[int, _LinkInstrument] = {}
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach_queue(self, qdisc, label: str, bandwidth: Optional[float] = None) -> None:
+        """Observe a queue discipline; *bandwidth* (bps) enables the
+        drain-time queue-delay estimate in samples and histograms."""
+        self._queues[id(qdisc)] = _QueueInstrument(
+            qdisc, label, bandwidth, self.registry
+        )
+        qdisc.obs = self
+        qdisc.obs_label = label
+
+    def attach_sender(self, sender, label: Optional[str] = None) -> None:
+        """Observe a TCP sender (early responses, timeouts, cwnd)."""
+        label = label if label is not None else str(sender.flow_id)
+        self._senders[id(sender)] = _SenderInstrument(sender, label, self.registry)
+        sender.obs = self
+        sender.obs_label = label
+
+    def attach_link(self, link, label: str) -> None:
+        """Observe a link's transmit progress (periodic byte counters)."""
+        self._links[id(link)] = _LinkInstrument(link, label)
+        link.obs = self
+        link.obs_label = label
+
+    # ------------------------------------------------------------------
+    # queue hooks (called from QueueDiscipline.enqueue/dequeue)
+    # ------------------------------------------------------------------
+    def queue_event(self, qdisc, kind: str, pkt, now: float, forced: bool = False) -> None:
+        qi = self._queues[id(qdisc)]
+        records = self.records
+        if kind == "enqueue":
+            qi.c_enqueues.inc()
+            if records is not None and self.trace_packet_events:
+                records.append({
+                    "v": TRACE_SCHEMA, "type": "enqueue", "t": now,
+                    "queue": qi.label, "flow": pkt.flow_id, "seq": pkt.seq,
+                    "qlen": len(qdisc),
+                })
+        elif kind == "drop":
+            qi.c_drops.inc()
+            if forced:
+                qi.c_forced.inc()
+            if records is not None:
+                records.append({
+                    "v": TRACE_SCHEMA, "type": "drop", "t": now,
+                    "queue": qi.label, "flow": pkt.flow_id, "seq": pkt.seq,
+                    "qlen": len(qdisc), "forced": forced,
+                })
+        else:  # mark
+            qi.c_marks.inc()
+            if records is not None:
+                records.append({
+                    "v": TRACE_SCHEMA, "type": "mark", "t": now,
+                    "queue": qi.label, "flow": pkt.flow_id, "seq": pkt.seq,
+                    "qlen": len(qdisc),
+                })
+        if now >= qi.next_sample:
+            self._queue_sample(qi, now)
+
+    def queue_departure(self, qdisc, pkt, now: float) -> None:
+        qi = self._queues[id(qdisc)]
+        if now >= qi.next_sample:
+            self._queue_sample(qi, now)
+
+    def _queue_sample(self, qi: _QueueInstrument, now: float) -> None:
+        qi.next_sample = now + self.sample_interval
+        qlen = len(qi.qdisc)
+        nbytes = qi.qdisc.byte_length
+        delay = nbytes * 8.0 / qi.bandwidth if qi.bandwidth else None
+        qi.h_qlen.observe(qlen)
+        if delay is not None:
+            qi.h_delay.observe(delay)
+        if self.records is not None:
+            rec = {
+                "v": TRACE_SCHEMA, "type": "queue_sample", "t": now,
+                "queue": qi.label, "qlen": qlen, "bytes": nbytes,
+                "delay": delay,
+            }
+            aqm = qi.qdisc.aqm_state()
+            if aqm is not None:
+                rec["aqm"] = aqm
+            self.records.append(rec)
+
+    # ------------------------------------------------------------------
+    # sender hooks (called from TcpSender and the PERT variants)
+    # ------------------------------------------------------------------
+    def sender_event(self, sender, kind: str, now: float) -> None:
+        si = self._senders[id(sender)]
+        if kind == "early_response":
+            si.c_early.inc()
+        else:  # timeout
+            si.c_timeouts.inc()
+        if self.records is not None:
+            self.records.append({
+                "v": TRACE_SCHEMA, "type": kind, "t": now,
+                "flow": sender.flow_id, "cwnd": sender.cwnd,
+            })
+
+    def sender_ack(self, sender, now: float) -> None:
+        si = self._senders[id(sender)]
+        if now < si.next_sample:
+            return
+        si.next_sample = now + self.sample_interval
+        si.h_cwnd.observe(sender.cwnd)
+        if self.records is not None:
+            self.records.append({
+                "v": TRACE_SCHEMA, "type": "cwnd_sample", "t": now,
+                "flow": sender.flow_id, "cwnd": sender.cwnd,
+                "ssthresh": sender.ssthresh, "srtt": sender.srtt,
+            })
+
+    # ------------------------------------------------------------------
+    # link hook (called from Link._tx_done)
+    # ------------------------------------------------------------------
+    def link_tx(self, link, now: float) -> None:
+        li = self._links[id(link)]
+        if now < li.next_sample:
+            return
+        li.next_sample = now + self.sample_interval
+        if self.records is not None:
+            self.records.append({
+                "v": TRACE_SCHEMA, "type": "link_sample", "t": now,
+                "link": li.label, "bytes": link.bytes_transmitted,
+                "pkts": link.packets_transmitted,
+            })
+
+    # ------------------------------------------------------------------
+    def finalize(self, sim) -> None:
+        """Record end-of-run engine gauges (events processed, sim time)."""
+        reg = self.registry
+        reg.gauge("sim.events_processed").set(sim.events_processed)
+        reg.gauge("sim.time").set(sim.now)
+        for qi in self._queues.values():
+            stats = qi.qdisc.stats
+            base = f"queue.{qi.label}"
+            reg.gauge(f"{base}.arrivals").set(stats.arrivals)
+            reg.gauge(f"{base}.drop_rate").set(stats.drop_rate)
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot (delegates to the registry)."""
+        return self.registry.snapshot()

@@ -1,0 +1,141 @@
+"""Per-job run manifests: what ran, how long, and what it measured.
+
+One manifest is written next to each cache entry
+(``<key>.manifest.json`` beside ``<key>.json``) by the runner's
+executor after a fresh (non-cached) job completes.  Manifests are the
+durable forensic record the report CLI reads: even after the payload is
+consumed and the progress line has scrolled away, the manifest still
+says which spec hash/seed produced the row, how wall time split across
+phases, how many events the simulator processed, the process's peak
+RSS, and — when ``--obs`` was on — the final metrics snapshot.
+
+Schema v1 fields:
+
+==================  ===================================================
+``schema``          manifest schema version (this module's constant)
+``key``             the job's :attr:`JobSpec.cache_key` (spec hash)
+``kind``            registered job kind (e.g. ``dumbbell``)
+``params``          full JSON params, including ``seed`` and ``scheme``
+``seed``/``scheme`` hoisted copies for cheap filtering
+``repro_version``   package version that produced the result
+``wall_time``       job wall-clock seconds (successful attempt only)
+``events``          simulator events processed
+``attempts``        attempts consumed (1 = first try)
+``phases``          phase name -> wall seconds (setup/warmup/measure)
+``peak_rss_kb``     peak resident set size of the job process
+``result``          scalar fields of the job payload (drop_rate, ...)
+``metrics``         metrics-registry snapshot (with ``--obs``)
+``profile``         sampling-profiler summary (with ``REPRO_PROFILE``)
+``trace_file``      basename of the sibling JSONL trace (with --trace)
+==================  ===================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest", "load_manifests"]
+
+#: bump when manifest fields change incompatibly
+MANIFEST_SCHEMA = 1
+
+#: manifest filename suffix (sibling of the cache entry)
+MANIFEST_SUFFIX = ".manifest.json"
+#: trace filename suffix (sibling of the cache entry)
+TRACE_SUFFIX = ".trace.jsonl"
+
+
+def _scalar_fields(payload: Any) -> Optional[Dict[str, Any]]:
+    """Copy the scalar (summarizable) fields out of a dict payload."""
+    if not isinstance(payload, dict):
+        return None
+    return {
+        k: v
+        for k, v in payload.items()
+        if isinstance(v, (int, float, str, bool)) or v is None
+    }
+
+
+def build_manifest(
+    *,
+    key: str,
+    kind: str,
+    params: Dict[str, Any],
+    wall_time: float,
+    events: int,
+    attempts: int,
+    payload: Any = None,
+    obs_meta: Optional[dict] = None,
+    trace_file: Optional[str] = None,
+) -> dict:
+    """Assemble a schema-v1 manifest dict (JSON-clean)."""
+    # Imported lazily: repro/__init__ -> sim -> monitors -> obs would
+    # otherwise form a cycle through this module at import time.
+    from .. import __version__
+
+    manifest: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "key": key,
+        "kind": kind,
+        "params": dict(params),
+        "seed": params.get("seed"),
+        "scheme": params.get("scheme"),
+        "repro_version": __version__,
+        "wall_time": wall_time,
+        "events": events,
+        "attempts": attempts,
+    }
+    result = _scalar_fields(payload)
+    if result is not None:
+        manifest["result"] = result
+    if obs_meta:
+        for field in ("phases", "peak_rss_kb", "metrics", "profile"):
+            if obs_meta.get(field) is not None:
+                manifest[field] = obs_meta[field]
+    if trace_file is not None:
+        manifest["trace_file"] = trace_file
+    return manifest
+
+
+def write_manifest(path: Union[str, Path], manifest: dict) -> Path:
+    """Atomically write *manifest* as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_manifests(run_dir: Union[str, Path]) -> List[dict]:
+    """Load every ``*.manifest.json`` under *run_dir* (recursively).
+
+    Unparseable files are skipped (a torn write from a killed run must
+    not break reporting on the rest).  Each loaded manifest gains a
+    ``_path`` key pointing back at its file so callers can find the
+    sibling trace.
+    """
+    run_dir = Path(run_dir)
+    manifests: List[dict] = []
+    for path in sorted(run_dir.rglob(f"*{MANIFEST_SUFFIX}")):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(manifest, dict):
+            manifest["_path"] = str(path)
+            manifests.append(manifest)
+    return manifests

@@ -1,0 +1,177 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+All three instruments are plain Python state with no clocks, no RNG and
+no background threads, so a registry snapshot is a pure function of the
+simulation that fed it — the same fixed-seed run always yields the same
+snapshot, which lets golden tests pin metric output exactly.
+
+Histograms use *fixed* bucket edges supplied at creation time (never
+auto-scaled from observed data) for the same reason: adaptive edges
+would make two runs with slightly different inputs produce structurally
+different snapshots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "QUEUE_DELAY_EDGES", "QUEUE_LEN_EDGES", "CWND_EDGES"]
+
+#: default bucket edges for queue-delay histograms (seconds)
+QUEUE_DELAY_EDGES: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0,
+)
+#: default bucket edges for queue-length histograms (packets)
+QUEUE_LEN_EDGES: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+)
+#: default bucket edges for congestion-window histograms (packets)
+CWND_EDGES: Tuple[float, ...] = (
+    2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-set value (e.g. current controller probability)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-edge histogram with sum/count/min/max.
+
+    ``edges`` are the *upper* bounds of the finite buckets; one implicit
+    overflow bucket catches everything above the last edge.  Edges must
+    be strictly increasing and are immutable after construction.
+    """
+
+    __slots__ = ("name", "edges", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(a >= b for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)  # + overflow
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket edge containing the q-quantile (``None`` if empty).
+
+        The overflow bucket reports the maximum observed value, so the
+        estimate is always finite.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.edges[i] if i < len(self.edges) else self.max
+        return self.max
+
+    def snapshot(self):
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-able as JSON.
+
+    Instrument names are free-form dotted strings; the convention used by
+    the built-in hooks is ``<component>.<label>.<signal>`` (for example
+    ``queue.bottleneck.fwd.drops`` or ``flow.0.cwnd``).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, edges))
+
+    def _get(self, name, cls, make):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = make()
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, requested {cls.__name__}"
+            )
+        return inst
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view of every instrument, sorted by name."""
+        return {
+            name: inst.snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }

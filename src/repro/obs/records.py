@@ -1,0 +1,72 @@
+"""Trace record schema: versioned, validated, JSON-clean event dicts.
+
+Every trace record is a flat dict with three mandatory fields —
+``v`` (schema version), ``type`` (one of :data:`RECORD_TYPES`) and
+``t`` (simulation time, seconds) — plus per-type payload fields.  The
+schema is the contract between everything that *emits* records (the
+collector hooks, :class:`repro.sim.monitors.DropLog`,
+:class:`repro.sim.trace.FlowTracer`) and everything that *consumes*
+them (the JSONL sink, ``python -m repro.obs report``), so bump
+:data:`TRACE_SCHEMA` whenever a type gains, loses or re-types a field.
+
+Schema v1 record types and their payload fields:
+
+=================  ====================================================
+``enqueue``        ``queue, flow, seq, qlen``
+``drop``           ``queue, flow, seq, qlen, forced``
+``mark``           ``queue, flow, seq, qlen``
+``early_response`` ``flow, cwnd`` (end-host AQM emulation response)
+``timeout``        ``flow, cwnd`` (RTO fired)
+``queue_sample``   ``queue, qlen, bytes, delay`` (+ optional ``aqm``
+                   sub-dict with controller state: RED avg/max_p,
+                   PI p, REM price)
+``cwnd_sample``    ``flow, cwnd, ssthresh, srtt``
+``link_sample``    ``link, bytes, pkts``
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["TRACE_SCHEMA", "RECORD_TYPES", "record", "validate_record"]
+
+#: bump when record types / fields change incompatibly
+TRACE_SCHEMA = 1
+
+#: record type -> required payload fields (beyond v/type/t)
+RECORD_TYPES: Dict[str, tuple] = {
+    "enqueue": ("queue", "flow", "seq", "qlen"),
+    "drop": ("queue", "flow", "seq", "qlen", "forced"),
+    "mark": ("queue", "flow", "seq", "qlen"),
+    "early_response": ("flow", "cwnd"),
+    "timeout": ("flow", "cwnd"),
+    "queue_sample": ("queue", "qlen", "bytes", "delay"),
+    "cwnd_sample": ("flow", "cwnd", "ssthresh", "srtt"),
+    "link_sample": ("link", "bytes", "pkts"),
+}
+
+
+def record(rtype: str, t: float, **fields) -> dict:
+    """Build one schema-v1 trace record (validated)."""
+    rec = {"v": TRACE_SCHEMA, "type": rtype, "t": t}
+    rec.update(fields)
+    validate_record(rec)
+    return rec
+
+
+def validate_record(rec: dict) -> None:
+    """Raise ``ValueError`` if *rec* is not a well-formed schema record."""
+    if not isinstance(rec, dict):
+        raise ValueError(f"record must be a dict, got {type(rec).__name__}")
+    if rec.get("v") != TRACE_SCHEMA:
+        raise ValueError(f"unsupported trace schema version {rec.get('v')!r}")
+    rtype = rec.get("type")
+    required = RECORD_TYPES.get(rtype)
+    if required is None:
+        raise ValueError(f"unknown record type {rtype!r}")
+    if not isinstance(rec.get("t"), (int, float)):
+        raise ValueError(f"record {rtype!r} missing numeric time 't'")
+    missing = [f for f in required if f not in rec]
+    if missing:
+        raise ValueError(f"record {rtype!r} missing fields {missing}")

@@ -1,0 +1,248 @@
+"""Turn a run directory of manifests/traces into a readable report.
+
+The report CLI (``python -m repro.obs report <run-dir>``) is pure
+post-processing: it only reads the ``*.manifest.json`` and
+``*.trace.jsonl`` files the runner wrote, so it works on any completed
+run — including one produced on another machine — without re-simulating
+anything.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .manifest import load_manifests
+from .trace import iter_trace
+
+__all__ = ["generate_report", "format_table"]
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Left-aligned first column, right-aligned rest; plain text."""
+    if not rows:
+        return "(none)"
+    table = [headers] + rows
+    widths = [max(len(str(r[i])) for r in table) for i in range(len(headers))]
+    lines = []
+    for irow, row in enumerate(table):
+        cells = [
+            str(c).ljust(widths[i]) if i == 0 else str(c).rjust(widths[i])
+            for i, c in enumerate(row)
+        ]
+        lines.append("  ".join(cells).rstrip())
+        if irow == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt_secs(s: Optional[float]) -> str:
+    return "-" if s is None else f"{s:.3f}s"
+
+
+def _fmt_rate(r: Optional[float]) -> str:
+    if r is None or (isinstance(r, float) and math.isnan(r)):
+        return "-"
+    return f"{r:.4f}"
+
+
+def _job_label(m: dict) -> str:
+    bits = [str(m.get("kind", "?"))]
+    if m.get("scheme"):
+        bits.append(str(m["scheme"]))
+    if m.get("seed") is not None:
+        bits.append(f"seed={m['seed']}")
+    return "/".join(bits)
+
+
+def _scheme_rollup(manifests: List[dict]) -> List[List[str]]:
+    by_scheme: Dict[str, dict] = {}
+    for m in manifests:
+        key = str(m.get("scheme") or m.get("kind") or "?")
+        agg = by_scheme.setdefault(
+            key, {"jobs": 0, "wall": 0.0, "events": 0, "drop": [], "queue": [], "util": []}
+        )
+        agg["jobs"] += 1
+        agg["wall"] += m.get("wall_time") or 0.0
+        agg["events"] += m.get("events") or 0
+        result = m.get("result") or {}
+        for field, dest in (("drop_rate", "drop"), ("norm_queue", "queue"),
+                            ("utilization", "util")):
+            v = result.get(field)
+            if isinstance(v, (int, float)) and not math.isnan(v):
+                agg[dest].append(float(v))
+    rows = []
+    for scheme in sorted(by_scheme):
+        agg = by_scheme[scheme]
+        evps = agg["events"] / agg["wall"] if agg["wall"] > 0 else 0.0
+
+        def mean(xs):
+            return sum(xs) / len(xs) if xs else None
+
+        rows.append([
+            scheme, str(agg["jobs"]), _fmt_secs(agg["wall"]),
+            f"{agg['events']:,}", f"{evps:,.0f}",
+            _fmt_rate(mean(agg["drop"])), _fmt_rate(mean(agg["queue"])),
+            _fmt_rate(mean(agg["util"])),
+        ])
+    return rows
+
+
+def _phase_rollup(manifests: List[dict]) -> List[List[str]]:
+    totals: Dict[str, float] = {}
+    for m in manifests:
+        for name, secs in (m.get("phases") or {}).items():
+            totals[name] = totals.get(name, 0.0) + secs
+    grand = sum(totals.values())
+    return [
+        [name, _fmt_secs(secs), f"{100.0 * secs / grand:.1f}%" if grand else "-"]
+        for name, secs in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+
+
+def _profile_rollup(manifests: List[dict], top: int) -> List[List[str]]:
+    totals: Dict[str, List[float]] = {}
+    for m in manifests:
+        for row in (m.get("profile") or {}).get("top", []):
+            cell = totals.setdefault(row["callback"], [0, 0.0])
+            cell[0] += row.get("samples", 0)
+            cell[1] += row.get("est_time", 0.0)
+    rows = sorted(totals.items(), key=lambda kv: -kv[1][1])[:top]
+    return [
+        [name, str(int(samples)), _fmt_secs(est)]
+        for name, (samples, est) in rows
+    ]
+
+
+def _queue_delay_summary(manifests: List[dict]) -> List[List[str]]:
+    """Per-queue delay/drop summary from metrics snapshots (``--obs``)."""
+    rows = []
+    for m in manifests:
+        metrics = m.get("metrics") or {}
+        for name, snap in sorted(metrics.items()):
+            if not (name.startswith("queue.") and name.endswith(".delay")):
+                continue
+            if not isinstance(snap, dict) or not snap.get("count"):
+                continue
+            label = name[len("queue."):-len(".delay")]
+            drops = metrics.get(f"queue.{label}.drops", 0)
+            enq = metrics.get(f"queue.{label}.enqueues", 0)
+            marks = metrics.get(f"queue.{label}.marks", 0)
+            arrivals = (drops or 0) + (enq or 0)
+            mean_delay = snap["sum"] / snap["count"]
+            rows.append([
+                f"{_job_label(m)} {label}",
+                f"{mean_delay * 1e3:.2f}ms",
+                f"{(snap['max'] or 0.0) * 1e3:.2f}ms",
+                str(snap["count"]),
+                _fmt_rate(drops / arrivals if arrivals else None),
+                str(marks),
+            ])
+    return rows
+
+
+def _trace_summary(manifests: List[dict]) -> List[str]:
+    lines: List[str] = []
+    for m in manifests:
+        trace_file = m.get("trace_file")
+        if not trace_file or "_path" not in m:
+            continue
+        path = Path(m["_path"]).parent / trace_file
+        if not path.exists():
+            continue
+        counts: Dict[str, int] = {}
+        delays: List[float] = []
+        try:
+            for rec in iter_trace(path):
+                counts[rec["type"]] = counts.get(rec["type"], 0) + 1
+                if rec["type"] == "queue_sample" and rec.get("delay") is not None:
+                    delays.append(rec["delay"])
+        except (OSError, ValueError) as exc:
+            lines.append(f"  {trace_file}: unreadable ({exc})")
+            continue
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        lines.append(f"  {_job_label(m)} [{trace_file}]")
+        lines.append(f"    records: {summary or '(empty)'}")
+        if delays:
+            delays.sort()
+            p95 = delays[min(len(delays) - 1, int(0.95 * len(delays)))]
+            lines.append(
+                f"    queue delay: mean={sum(delays)/len(delays)*1e3:.2f}ms "
+                f"p95={p95*1e3:.2f}ms max={delays[-1]*1e3:.2f}ms"
+            )
+    return lines
+
+
+def generate_report(
+    run_dir, top: int = 10, include_trace: bool = True
+) -> str:
+    """Build the full text report for *run_dir*."""
+    manifests = load_manifests(run_dir)
+    out: List[str] = []
+    if not manifests:
+        return (
+            f"no manifests found under {run_dir}\n"
+            "(manifests are written next to cache entries by fresh runs; "
+            "re-run with --no-cache disabled, e.g. "
+            "`python -m repro.experiments fig6 --obs --cache-dir <run-dir>`)"
+        )
+
+    total_wall = sum(m.get("wall_time") or 0.0 for m in manifests)
+    total_events = sum(m.get("events") or 0 for m in manifests)
+    out.append(f"run directory : {run_dir}")
+    out.append(f"jobs          : {len(manifests)}")
+    out.append(f"job wall time : {_fmt_secs(total_wall)}")
+    out.append(f"sim events    : {total_events:,}")
+    if total_wall > 0:
+        out.append(f"events/s      : {total_events / total_wall:,.0f}")
+
+    out.append("\n== events/s by scheme ==")
+    out.append(format_table(
+        ["scheme", "jobs", "wall", "events", "events/s",
+         "drop_rate", "norm_queue", "util"],
+        _scheme_rollup(manifests),
+    ))
+
+    phases = _phase_rollup(manifests)
+    if phases:
+        out.append("\n== wall time by phase ==")
+        out.append(format_table(["phase", "wall", "share"], phases))
+
+    slowest = sorted(manifests, key=lambda m: -(m.get("wall_time") or 0.0))[:top]
+    rows = []
+    for m in slowest:
+        wall = m.get("wall_time") or 0.0
+        events = m.get("events") or 0
+        rss = m.get("peak_rss_kb")
+        rows.append([
+            _job_label(m), _fmt_secs(wall), f"{events:,}",
+            f"{events / wall:,.0f}" if wall > 0 else "-",
+            f"{rss / 1024:.0f}MB" if rss else "-",
+            str(m.get("attempts", 1)),
+        ])
+    out.append(f"\n== slowest jobs (top {len(rows)}) ==")
+    out.append(format_table(
+        ["job", "wall", "events", "events/s", "peak_rss", "attempts"], rows,
+    ))
+
+    hot = _profile_rollup(manifests, top)
+    if hot:
+        out.append(f"\n== hottest callbacks (top {len(hot)}, sampled) ==")
+        out.append(format_table(["callback", "samples", "est_time"], hot))
+
+    qrows = _queue_delay_summary(manifests)
+    if qrows:
+        out.append("\n== queue delay / drop summary (from --obs metrics) ==")
+        out.append(format_table(
+            ["queue", "mean_delay", "max_delay", "samples", "drop_rate", "marks"],
+            qrows,
+        ))
+
+    if include_trace:
+        tlines = _trace_summary(manifests)
+        if tlines:
+            out.append("\n== traces ==")
+            out.extend(tlines)
+
+    return "\n".join(out)

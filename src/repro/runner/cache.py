@@ -21,6 +21,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..obs.manifest import MANIFEST_SUFFIX, TRACE_SUFFIX
 from .spec import JobSpec
 
 __all__ = ["ResultCache", "default_cache_dir", "resolve_cache"]
@@ -45,6 +46,16 @@ class ResultCache:
     def path_for(self, spec: JobSpec) -> Path:
         key = spec.cache_key
         return self.root / key[:2] / f"{key}.json"
+
+    def manifest_path_for(self, spec: JobSpec) -> Path:
+        """Sibling run-manifest path for *spec* (see :mod:`repro.obs.manifest`)."""
+        key = spec.cache_key
+        return self.root / key[:2] / f"{key}{MANIFEST_SUFFIX}"
+
+    def trace_path_for(self, spec: JobSpec) -> Path:
+        """Sibling JSONL trace path for *spec* (written with ``--trace``)."""
+        key = spec.cache_key
+        return self.root / key[:2] / f"{key}{TRACE_SUFFIX}"
 
     def get(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
         """Return the stored entry dict for *spec*, or ``None`` on a miss.

@@ -26,6 +26,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.manifest import build_manifest, write_manifest
+from ..obs.runtime import observe_job
+from ..obs.trace import write_trace
 from .cache import ResultCache, resolve_cache
 from .registry import resolve_job
 from .spec import JobSpec
@@ -78,13 +81,21 @@ def _events_of(payload: Any) -> int:
 
 
 def _child_main(kind: str, params: dict, conn) -> None:
-    """Worker-process entry point: run one job, ship one message back."""
+    """Worker-process entry point: run one job, ship one message back.
+
+    The job runs inside an :func:`observe_job` context so phase timings,
+    peak RSS and (when ``REPRO_OBS``/``REPRO_TRACE`` are set) metrics and
+    trace records ride back to the parent alongside the payload; the
+    payload itself stays untouched, so cached results are byte-identical
+    with observability on or off.
+    """
     try:
-        payload = resolve_job(kind)(dict(params))
-        conn.send(("ok", payload))
+        with observe_job() as obs:
+            payload = resolve_job(kind)(dict(params))
+        conn.send(("ok", payload, obs.finish()))
     except BaseException as exc:  # noqa: BLE001 - isolate *any* job failure
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(("error", f"{type(exc).__name__}: {exc}", None))
         except Exception:
             pass
     finally:
@@ -176,11 +187,19 @@ def run_jobs(
     if not misses:
         return [r for r in results if r is not None]
 
-    def record_success(index: int, payload: Any, attempt: int, wall: float) -> None:
+    def record_success(
+        index: int, payload: Any, attempt: int, wall: float, obs_meta=None
+    ) -> None:
         spec = specs[index]
         meta = {"events": _events_of(payload), "wall_time": wall, "attempts": attempt}
+        stats.wall_time += wall
+        if obs_meta:
+            rss = obs_meta.get("peak_rss_kb")
+            if isinstance(rss, int):
+                stats.peak_rss_kb = max(stats.peak_rss_kb, rss)
         if store is not None:
             store.put(spec, payload, meta=meta)
+            _write_observation(store, spec, meta, payload, obs_meta)
         settle(index, JobResult(
             spec, "ok", value=payload, attempts=attempt, wall_time=wall, meta=meta,
         ))
@@ -195,6 +214,36 @@ def run_jobs(
     return [r for r in results if r is not None]
 
 
+def _write_observation(store, spec, meta, payload, obs_meta) -> None:
+    """Persist the job's run manifest (and trace) next to its cache entry.
+
+    Manifest writes are best-effort: a full disk or permission hiccup on
+    the forensic record must not fail a job whose payload already landed.
+    """
+    obs_meta = dict(obs_meta) if obs_meta else {}
+    trace_records = obs_meta.pop("trace_records", None)
+    trace_file = None
+    try:
+        if trace_records is not None:
+            trace_path = store.trace_path_for(spec)
+            write_trace(trace_path, trace_records)
+            trace_file = trace_path.name
+        manifest = build_manifest(
+            key=spec.cache_key,
+            kind=spec.kind,
+            params=spec.params,
+            wall_time=meta["wall_time"],
+            events=meta["events"],
+            attempts=meta["attempts"],
+            payload=payload,
+            obs_meta=obs_meta,
+            trace_file=trace_file,
+        )
+        write_manifest(store.manifest_path_for(spec), manifest)
+    except OSError:  # pragma: no cover - disk trouble
+        pass
+
+
 # ----------------------------------------------------------------------
 # serial fallback
 # ----------------------------------------------------------------------
@@ -207,11 +256,14 @@ def _run_serial(specs, misses, retries, stats, record_success, settle) -> None:
                 stats.retries += 1
             t0 = time.monotonic()
             try:
-                payload = resolve_job(spec.kind)(dict(spec.params))
+                with observe_job() as obs:
+                    payload = resolve_job(spec.kind)(dict(spec.params))
             except Exception as exc:  # noqa: BLE001 - keep the sweep alive
                 error = f"{type(exc).__name__}: {exc}"
                 continue
-            record_success(index, payload, attempt, time.monotonic() - t0)
+            record_success(
+                index, payload, attempt, time.monotonic() - t0, obs.finish(),
+            )
             break
         else:
             settle(index, JobResult(
@@ -281,11 +333,11 @@ def _run_parallel(
                     except (EOFError, OSError):
                         message = None
                 if message is not None:
-                    status, body = message
+                    status, body, obs_meta = message
                     reap(slot)
                     wall = now - slot.t0
                     if status == "ok":
-                        record_success(slot.index, body, slot.attempt, wall)
+                        record_success(slot.index, body, slot.attempt, wall, obs_meta)
                     else:
                         retry_or_fail(slot, body)
                     progressed = True

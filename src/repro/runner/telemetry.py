@@ -31,6 +31,8 @@ class RunnerStats:
     cached: int = 0  # served from the on-disk cache
     retries: int = 0  # extra attempts consumed
     events: int = 0  # simulator events processed by fresh jobs
+    wall_time: float = 0.0  # summed per-job wall seconds (fresh jobs)
+    peak_rss_kb: int = 0  # max peak RSS across fresh job processes
     started: float = field(default_factory=time.monotonic)
 
     @property
@@ -52,17 +54,22 @@ class RunnerStats:
             "cached": self.cached,
             "retries": self.retries,
             "events": self.events,
+            "wall_time": self.wall_time,
+            "peak_rss_kb": self.peak_rss_kb,
             "elapsed": self.elapsed(),
             "events_per_second": self.events_per_second(),
         }
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.finished}/{self.total} jobs "
             f"({self.cached} cached, {self.failed} failed, "
             f"{self.retries} retries) "
             f"{self.events_per_second():,.0f} events/s"
         )
+        if self.peak_rss_kb:
+            line += f" peak_rss={self.peak_rss_kb}KB"
+        return line
 
 
 def progress_printer(stream=None) -> ProgressHook:

@@ -33,18 +33,36 @@ class Event:
     lazy: the event is flagged and skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so it will be skipped when its time arrives."""
+        """Mark the event so it will be skipped when its time arrives.
+
+        Idempotent, and safe on events that have already fired: only the
+        first cancellation of a still-pending event updates the owning
+        simulator's live-event count.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -72,10 +90,15 @@ class Simulator:
         self.seed = seed
         self._heap: List[Event] = []
         self._seq = 0
+        self._live = 0  # non-cancelled, not-yet-fired events
         self._running = False
         self.events_processed = 0
         self._stream_labels: Set[str] = set()
         self._stream_counts: Dict[str, int] = {}
+        #: optional :class:`repro.obs.SamplingProfiler`; when set, event
+        #: dispatch routes through it (results are unaffected — it times
+        #: callbacks, nothing more)
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # random-number streams
@@ -125,8 +148,9 @@ class Simulator:
         """Schedule *fn(*args)* at absolute simulation *time*."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time!r} < now {self.now!r}")
-        ev = Event(time, self._seq, fn, args)
+        ev = Event(time, self._seq, fn, args, sim=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -153,6 +177,7 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         processed = 0
+        profiler = self.profiler
         try:
             while self._heap:
                 ev = self._heap[0]
@@ -163,7 +188,12 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self.now = ev.time
-                ev.fn(*ev.args)
+                ev.fired = True
+                self._live -= 1
+                if profiler is None:
+                    ev.fn(*ev.args)
+                else:
+                    profiler.dispatch(ev)
                 processed += 1
                 self.events_processed += 1
                 if max_events is not None and processed >= max_events:
@@ -174,8 +204,8 @@ class Simulator:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled, not-yet-fired) events — O(1)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator now={self.now:.6f} pending={self._live}>"

@@ -59,6 +59,9 @@ class Link:
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
         self.busy_time = 0.0
+        #: observability attachment (:class:`repro.obs.Collector`)
+        self.obs = None
+        self.obs_label = None
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> None:
@@ -80,6 +83,8 @@ class Link:
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_transmitted += pkt.size
         self.packets_transmitted += 1
+        if self.obs is not None:
+            self.obs.link_tx(self, self.sim.now)
         self.sim.schedule(self.delay, self.dst.receive, pkt)
         self._start_next()
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional, Tuple
 
+from ..obs.records import record
 from .engine import Simulator
 from .link import Link
 from .packet import Packet
@@ -55,30 +56,61 @@ class QueueSampler:
         return self.lengths[i - 1] if t - before <= after - t else self.lengths[i]
 
     def mean(self, start: float = 0.0, end: Optional[float] = None) -> float:
-        """Mean sampled queue length over [start, end]."""
-        end = end if end is not None else float("inf")
-        vals = [q for t, q in zip(self.times, self.lengths) if start <= t <= end]
+        """Mean sampled queue length over [start, end].
+
+        ``times`` is sorted (samples are appended in simulation order),
+        so the window is located with two bisections and only the
+        in-window samples are touched — O(log n + w) instead of a full
+        scan per call, which matters when sweeps query many windows over
+        long histories.
+        """
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end) if end is not None else len(self.times)
+        vals = self.lengths[lo:hi]
         return sum(vals) / len(vals) if vals else 0.0
+
+    def records(self, label: str = "queue") -> List[dict]:
+        """Samples as schema-versioned ``queue_sample`` trace records."""
+        return [
+            record("queue_sample", t, queue=label, qlen=q, bytes=None, delay=None)
+            for t, q in zip(self.times, self.lengths)
+        ]
 
 
 class DropLog:
-    """Records the time (and flow) of every drop at a queue."""
+    """Records every drop at a queue as a schema-versioned trace record.
 
-    def __init__(self, qdisc: QueueDiscipline):
-        self.events: List[Tuple[float, int]] = []
+    Internally this is a list of ``drop`` records (see
+    :mod:`repro.obs.records`) ready for the JSONL trace sink; the
+    tuple-based ``events`` view and the ``times()``/``count()`` helpers
+    keep the original analysis API intact.
+    """
+
+    def __init__(self, qdisc: QueueDiscipline, label: str = "queue"):
+        self.label = label
+        self.records: List[dict] = []
+        self._qdisc = qdisc
         qdisc.drop_listeners.append(self._on_drop)
 
     def _on_drop(self, pkt: Packet, now: float) -> None:
-        self.events.append((now, pkt.flow_id))
+        self.records.append(record(
+            "drop", now, queue=self.label, flow=pkt.flow_id, seq=pkt.seq,
+            qlen=len(self._qdisc), forced=self._qdisc.is_full_for(pkt),
+        ))
+
+    @property
+    def events(self) -> List[Tuple[float, int]]:
+        """Drops as ``(time, flow_id)`` tuples (legacy view)."""
+        return [(r["t"], r["flow"]) for r in self.records]
 
     def times(self, flow_id: Optional[int] = None) -> List[float]:
         """Drop timestamps, optionally restricted to one flow."""
         if flow_id is None:
-            return [t for t, _ in self.events]
-        return [t for t, f in self.events if f == flow_id]
+            return [r["t"] for r in self.records]
+        return [r["t"] for r in self.records if r["flow"] == flow_id]
 
     def count(self, start: float = 0.0, end: float = float("inf")) -> int:
-        return sum(1 for t, _ in self.events if start <= t <= end)
+        return sum(1 for r in self.records if start <= r["t"] <= end)
 
 
 class LinkWindow:
@@ -100,6 +132,14 @@ class LinkWindow:
         self._marks0 = 0
 
     def open(self) -> None:
+        if self._open_t is not None and self._close_t is None:
+            # A second open() would silently reset the baselines and
+            # corrupt the in-progress measurement window.
+            raise RuntimeError(
+                "measurement window is already open; close() it before "
+                "opening a new one"
+            )
+        self._close_t = None
         self._open_t = self.sim.now
         self._bytes0 = self.link.bytes_transmitted
         self._drops0 = self.link.qdisc.stats.drops

@@ -89,6 +89,11 @@ class QueueDiscipline:
         #: dropped here — used to correlate queue-level losses with
         #: end-host RTT signals (Figure 2 of the paper).
         self.drop_listeners = []
+        #: observability attachment (:class:`repro.obs.Collector`); when
+        #: ``None`` — the default — the hooks below cost one attribute
+        #: test per packet and nothing else
+        self.obs = None
+        self.obs_label: Optional[str] = None
 
     # -- admission policy -------------------------------------------------
     def is_full_for(self, pkt: Packet) -> bool:
@@ -105,6 +110,15 @@ class QueueDiscipline:
             return "drop"
         return "enqueue"
 
+    def aqm_state(self) -> Optional[dict]:
+        """Controller state for ``queue_sample`` trace records.
+
+        AQM subclasses override this to expose their internal signal
+        (RED's average queue and ``max_p``, PI's probability, REM's
+        price); plain FIFOs report ``None``.
+        """
+        return None
+
     # -- mechanics ---------------------------------------------------------
     def enqueue(self, pkt: Packet, now: float) -> bool:
         """Offer *pkt* to the queue; returns True if it was accepted."""
@@ -115,12 +129,15 @@ class QueueDiscipline:
             if verdict not in ("drop", "enqueue", "mark"):
                 raise ValueError(f"bad admit() verdict {verdict!r}")
             self.stats.drops += 1
-            if self.is_full_for(pkt):
+            forced = self.is_full_for(pkt)
+            if forced:
                 self.stats.forced_drops += 1
             else:
                 self.stats.early_drops += 1
             for fn in self.drop_listeners:
                 fn(pkt, now)
+            if self.obs is not None:
+                self.obs.queue_event(self, "drop", pkt, now, forced=forced)
             return False
         if verdict == "mark":
             # Sanity: admit() must only mark ECN-capable packets.
@@ -131,6 +148,8 @@ class QueueDiscipline:
         self._bytes += pkt.size
         self.stats.enqueues += 1
         self.stats.bytes_in += pkt.size
+        if self.obs is not None:
+            self.obs.queue_event(self, verdict, pkt, now)
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -142,6 +161,8 @@ class QueueDiscipline:
         self._bytes -= pkt.size
         self.stats.departures += 1
         self.stats.bytes_out += pkt.size
+        if self.obs is not None:
+            self.obs.queue_departure(self, pkt, now)
         return pkt
 
     # -- inspection ---------------------------------------------------------

@@ -97,3 +97,6 @@ class PiQueue(QueueDiscipline):
                 return "mark"
             return "drop"
         return "enqueue"
+
+    def aqm_state(self) -> dict:
+        return {"p": self.p, "q_ref": self.q_ref}

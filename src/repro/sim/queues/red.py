@@ -177,6 +177,13 @@ class RedQueue(QueueDiscipline):
             return "mark"
         return "drop"
 
+    def aqm_state(self) -> dict:
+        return {
+            "avg": self.avg,
+            "max_p": self.max_p,
+            "p": self.mark_probability(),
+        }
+
     def dequeue(self, now: float):
         pkt = super().dequeue(now)
         if pkt is not None and not self._buf:

@@ -104,3 +104,6 @@ class RemQueue(QueueDiscipline):
                 return "mark"
             return "drop"
         return "enqueue"
+
+    def aqm_state(self) -> dict:
+        return {"price": self.price, "p": self.mark_probability()}

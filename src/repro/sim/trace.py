@@ -10,13 +10,20 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.records import record
 from .engine import Simulator
 
 __all__ = ["FlowTracer", "ascii_series"]
 
 
 class FlowTracer:
-    """Samples ``(time, cwnd, ssthresh, srtt)`` every *interval* seconds."""
+    """Samples ``(time, cwnd, ssthresh, srtt)`` every *interval* seconds.
+
+    Samples are stored as schema-versioned ``cwnd_sample`` trace records
+    (see :mod:`repro.obs.records`) so they can be written straight to a
+    JSONL trace; the ``times``/``cwnd``/``ssthresh``/``srtt`` views keep
+    the original column-oriented API.
+    """
 
     def __init__(self, sim: Simulator, sender, interval: float = 0.1,
                  start: float = 0.0):
@@ -25,26 +32,41 @@ class FlowTracer:
         self.sim = sim
         self.sender = sender
         self.interval = interval
-        self.times: List[float] = []
-        self.cwnd: List[float] = []
-        self.ssthresh: List[float] = []
-        self.srtt: List[Optional[float]] = []
+        self.records: List[dict] = []
         sim.schedule(max(0.0, start - sim.now), self._tick)
 
     def _tick(self) -> None:
-        self.times.append(self.sim.now)
-        self.cwnd.append(self.sender.cwnd)
-        self.ssthresh.append(self.sender.ssthresh)
-        self.srtt.append(self.sender.srtt)
+        s = self.sender
+        self.records.append(record(
+            "cwnd_sample", self.sim.now, flow=getattr(s, "flow_id", -1),
+            cwnd=s.cwnd, ssthresh=s.ssthresh, srtt=s.srtt,
+        ))
         self.sim.schedule(self.interval, self._tick)
+
+    @property
+    def times(self) -> List[float]:
+        return [r["t"] for r in self.records]
+
+    @property
+    def cwnd(self) -> List[float]:
+        return [r["cwnd"] for r in self.records]
+
+    @property
+    def ssthresh(self) -> List[float]:
+        return [r["ssthresh"] for r in self.records]
+
+    @property
+    def srtt(self) -> List[Optional[float]]:
+        return [r["srtt"] for r in self.records]
 
     def cwnd_stats(self) -> dict:
         """Mean, min, max and peak-to-trough ratio of the cwnd series."""
-        if not self.cwnd:
+        cwnd = self.cwnd
+        if not cwnd:
             return {"mean": 0.0, "min": 0.0, "max": 0.0, "swing": 0.0}
-        lo, hi = min(self.cwnd), max(self.cwnd)
+        lo, hi = min(cwnd), max(cwnd)
         return {
-            "mean": sum(self.cwnd) / len(self.cwnd),
+            "mean": sum(cwnd) / len(cwnd),
             "min": lo,
             "max": hi,
             "swing": hi / lo if lo > 0 else float("inf"),

@@ -135,6 +135,11 @@ class TcpSender:
         self.fast_recoveries = 0
         self.ecn_responses = 0
 
+        #: observability attachment (:class:`repro.obs.Collector`); the
+        #: hooks are no-ops (one attribute test) while this is ``None``
+        self.obs = None
+        self.obs_label = None
+
         self._rtx_timer: Optional[Event] = None
         node.register_endpoint(flow_id, self)
 
@@ -236,6 +241,8 @@ class TcpSender:
         self.on_ack(pkt, rtt_sample)
         self._check_complete()
         self._try_send()
+        if self.obs is not None:
+            self.obs.sender_ack(self, self.sim.now)
 
     def _process_ack_seq(self, pkt: Packet) -> Optional[float]:
         """Handle cumulative-ACK advance; returns the RTT sample if any."""
@@ -387,6 +394,8 @@ class TcpSender:
             return
         self.timeouts += 1
         self.loss_events.append(self.sim.now)
+        if self.obs is not None:
+            self.obs.sender_event(self, "timeout", self.sim.now)
         self.ssthresh = max(2.0, self.cwnd * self.loss_beta)
         self.cwnd = 1.0
         self.in_recovery = False

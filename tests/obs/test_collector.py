@@ -1,0 +1,95 @@
+"""Collector semantics: hooks, sampling, and the obs on/off golden pin."""
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+from repro.obs.collect import Collector
+from repro.obs.records import RECORD_TYPES
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+
+def test_queue_hooks_count_enqueues_and_forced_drops():
+    col = Collector(trace=True)
+    q = DropTailQueue(2)
+    col.attach_queue(q, "q")
+    assert q.obs is col and q.obs_label == "q"
+    q.enqueue(Packet(1, 0, 1, seq=0), 0.0)
+    q.enqueue(Packet(1, 0, 1, seq=1), 0.1)
+    q.enqueue(Packet(1, 0, 1, seq=2), 0.2)  # tail drop (forced)
+    snap = col.snapshot()
+    assert snap["queue.q.enqueues"] == 2
+    assert snap["queue.q.drops"] == 1
+    assert snap["queue.q.forced_drops"] == 1
+    types = [r["type"] for r in col.records]
+    assert types.count("enqueue") == 2
+    assert types.count("drop") == 1
+
+
+def test_sampling_is_rate_limited_by_sim_time():
+    col = Collector(trace=True, sample_interval=1.0)
+    q = DropTailQueue(100)
+    col.attach_queue(q, "q")
+    for i in range(50):  # 50 events within 0.5s of simulated time
+        q.enqueue(Packet(1, 0, 1, seq=i), i * 0.01)
+    samples = [r for r in col.records if r["type"] == "queue_sample"]
+    assert len(samples) == 1  # first event sampled, the rest gated
+
+
+def test_trace_records_validate_against_schema():
+    col = Collector(trace=True, sample_interval=0.05)
+    result = run_dumbbell(
+        "pert", 4e6, duration=6.0, warmup=2.0, n_fwd=3, seed=3, collector=col,
+    )
+    assert result.events_processed > 0
+    assert col.records, "instrumented run should produce trace records"
+    from repro.obs.records import validate_record
+    for rec in col.records:
+        validate_record(rec)
+    assert {r["type"] for r in col.records} <= set(RECORD_TYPES)
+
+
+def test_finalize_records_engine_gauges():
+    col = Collector()
+    sim = Simulator(seed=1)
+    sim.schedule(0.5, lambda: None)
+    sim.run()
+    col.finalize(sim)
+    snap = col.snapshot()
+    assert snap["sim.events_processed"] == 1
+    assert snap["sim.time"] == pytest.approx(0.5)
+
+
+def test_collector_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        Collector(sample_interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# The golden pin: observability must never perturb a simulation.
+# ----------------------------------------------------------------------
+def test_obs_on_off_results_identical():
+    kwargs = dict(
+        bandwidth=5e6, duration=8.0, warmup=3.0, n_fwd=4, n_rev=1,
+        web_sessions=2, seed=7,
+    )
+    plain = run_dumbbell("pert", collector=False, **kwargs)
+    instrumented = run_dumbbell(
+        "pert",
+        collector=Collector(trace=True, sample_interval=0.05),
+        **kwargs,
+    )
+    # Full-result equality, including the event count: attaching a
+    # collector must not schedule events, draw RNG, or change any metric.
+    assert instrumented == plain
+    assert instrumented.events_processed == plain.events_processed
+
+
+def test_obs_on_off_identical_for_aqm_scheme():
+    kwargs = dict(bandwidth=5e6, duration=6.0, warmup=2.0, n_fwd=3, seed=11)
+    plain = run_dumbbell("sack-red-ecn", collector=False, **kwargs)
+    instrumented = run_dumbbell(
+        "sack-red-ecn", collector=Collector(trace=True), **kwargs
+    )
+    assert instrumented == plain

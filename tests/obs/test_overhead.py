@@ -1,0 +1,113 @@
+"""Guard: disabled instrumentation must cost <5% on the hot path.
+
+The baseline monkeypatches the per-packet hook-bearing methods
+(``QueueDiscipline.enqueue``/``dequeue``, ``Link._tx_done``) with copies
+stripped of their ``obs`` hook sites, then times the same fixed-seed
+dumbbell both ways.  The two runs must also produce *identical* results —
+if the stripped copies ever drift from the real methods, the equality
+assertion fails before the timing comparison can mislead anyone.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+from repro.sim.link import Link
+from repro.sim.queues.base import QueueDiscipline
+
+_KWARGS = dict(
+    bandwidth=8e6, duration=4.0, warmup=1.5, n_fwd=4, seed=5,
+)
+_MAX_RATIO = 1.05
+_REPEATS = 3
+_ATTEMPTS = 3
+
+
+# ---- stripped copies of the hook-bearing hot-path methods ------------
+def _plain_enqueue(self, pkt, now):
+    self.stats.account(now, len(self._buf))
+    self.stats.arrivals += 1
+    verdict = self.admit(pkt, now)
+    if verdict == "drop" or (verdict != "enqueue" and verdict != "mark"):
+        if verdict not in ("drop", "enqueue", "mark"):
+            raise ValueError(f"bad admit() verdict {verdict!r}")
+        self.stats.drops += 1
+        if self.is_full_for(pkt):
+            self.stats.forced_drops += 1
+        else:
+            self.stats.early_drops += 1
+        for fn in self.drop_listeners:
+            fn(pkt, now)
+        return False
+    if verdict == "mark":
+        pkt.ce = True
+        self.stats.marks += 1
+    pkt.enqueue_time = now
+    self._buf.append(pkt)
+    self._bytes += pkt.size
+    self.stats.enqueues += 1
+    self.stats.bytes_in += pkt.size
+    return True
+
+
+def _plain_dequeue(self, now):
+    if not self._buf:
+        return None
+    self.stats.account(now, len(self._buf))
+    pkt = self._buf.popleft()
+    self._bytes -= pkt.size
+    self.stats.departures += 1
+    self.stats.bytes_out += pkt.size
+    return pkt
+
+
+def _plain_tx_done(self, pkt):
+    self.bytes_transmitted += pkt.size
+    self.packets_transmitted += 1
+    self.sim.schedule(self.delay, self.dst.receive, pkt)
+    self._start_next()
+
+
+_PATCHES = [
+    (QueueDiscipline, "enqueue", _plain_enqueue),
+    (QueueDiscipline, "dequeue", _plain_dequeue),
+    (Link, "_tx_done", _plain_tx_done),
+]
+
+
+def _timed_run(stripped: bool):
+    """Best-of-N wall time (and the result) for one configuration."""
+    saved = [(cls, name, getattr(cls, name)) for cls, name, _ in _PATCHES]
+    if stripped:
+        for cls, name, fn in _PATCHES:
+            setattr(cls, name, fn)
+    try:
+        best, result = float("inf"), None
+        for _ in range(_REPEATS):
+            t0 = time.perf_counter()
+            result = run_dumbbell("pert", collector=False, **_KWARGS)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+    finally:
+        for cls, name, fn in saved:
+            setattr(cls, name, fn)
+
+
+def test_disabled_instrumentation_overhead_under_5_percent():
+    ratio = None
+    for _ in range(_ATTEMPTS):
+        base_t, base_r = _timed_run(stripped=True)
+        inst_t, inst_r = _timed_run(stripped=False)
+        # Self-check: the stripped copies must be behaviourally identical
+        # to the real methods, or the timing comparison is meaningless.
+        assert inst_r == base_r, (
+            "stripped baseline methods drifted from the instrumented ones"
+        )
+        ratio = inst_t / base_t
+        if ratio <= _MAX_RATIO:
+            return
+    pytest.fail(
+        f"disabled instrumentation costs {ratio:.3f}x the stripped "
+        f"baseline (limit {_MAX_RATIO}x)"
+    )

@@ -1,0 +1,59 @@
+"""Sampling profiler: dispatch transparency and attribution."""
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler
+from repro.sim.engine import Simulator
+
+
+def test_profiler_samples_every_period_th_event():
+    prof = SamplingProfiler(period=4)
+
+    class Ev:
+        def __init__(self, fn):
+            self.fn = fn
+            self.args = ()
+
+    def work():
+        pass
+
+    for _ in range(16):
+        prof.dispatch(Ev(work))
+    assert prof.events == 16
+    assert prof.samples["test_profiler_samples_every_period_th_event.<locals>.work"][0] == 4
+
+
+def test_profiler_period_validated():
+    with pytest.raises(ValueError):
+        SamplingProfiler(period=0)
+
+
+def test_top_sorts_by_estimated_time():
+    prof = SamplingProfiler(period=1)
+    prof.samples = {"slow": [2, 0.5], "fast": [10, 0.01]}
+    rows = prof.top(2)
+    assert [r["callback"] for r in rows] == ["slow", "fast"]
+    assert rows[0]["est_time"] == pytest.approx(0.5)
+
+
+def test_profiled_simulation_result_is_unchanged():
+    def run(profiler):
+        sim = Simulator(seed=3)
+        sim.profiler = profiler
+        hits = []
+
+        def tick(i):
+            hits.append((sim.now, i))
+            if i < 20:
+                sim.schedule(0.1, tick, i + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        return hits, sim.events_processed
+
+    plain = run(None)
+    prof = SamplingProfiler(period=3)
+    profiled = run(prof)
+    assert profiled == plain
+    assert prof.events == plain[1]
+    assert prof.snapshot()["period"] == 3

@@ -1,0 +1,66 @@
+"""Schema validation and JSONL round-trip tests for the trace sink."""
+
+import pytest
+
+from repro.obs.records import RECORD_TYPES, TRACE_SCHEMA, record, validate_record
+from repro.obs.trace import iter_trace, read_trace, write_trace
+
+
+def _sample_records():
+    return [
+        record("enqueue", 0.5, queue="q", flow=1, seq=0, qlen=1),
+        record("drop", 1.0, queue="q", flow=1, seq=3, qlen=10, forced=True),
+        record("mark", 1.2, queue="q", flow=2, seq=4, qlen=9),
+        record("early_response", 1.5, flow=1, cwnd=12.5),
+        record("timeout", 2.0, flow=2, cwnd=2.0),
+        record("queue_sample", 2.5, queue="q", qlen=4, bytes=4000, delay=0.0032),
+        record("cwnd_sample", 3.0, flow=1, cwnd=8.0, ssthresh=6.0, srtt=0.051),
+        record("link_sample", 3.5, link="l", bytes=123456, pkts=123),
+    ]
+
+
+def test_every_record_type_constructible():
+    recs = _sample_records()
+    assert {r["type"] for r in recs} == set(RECORD_TYPES)
+    for r in recs:
+        assert r["v"] == TRACE_SCHEMA
+        validate_record(r)  # does not raise
+
+
+def test_record_rejects_missing_fields():
+    with pytest.raises(ValueError, match="missing fields"):
+        record("drop", 1.0, queue="q", flow=1)
+
+
+def test_record_rejects_unknown_type():
+    with pytest.raises(ValueError, match="unknown record type"):
+        record("teleport", 1.0)
+
+
+def test_validate_rejects_wrong_schema_version():
+    rec = record("timeout", 1.0, flow=1, cwnd=2.0)
+    rec["v"] = TRACE_SCHEMA + 1
+    with pytest.raises(ValueError, match="schema version"):
+        validate_record(rec)
+
+
+def test_jsonl_roundtrip(tmp_path):
+    recs = _sample_records()
+    path = write_trace(tmp_path / "trace.jsonl", recs)
+    assert read_trace(path) == recs
+
+
+def test_iter_trace_reports_line_numbers(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"v": 1, "type": "timeout", "t": 1.0, "flow": 1, "cwnd": 2}\nnot json\n')
+    it = iter_trace(path)
+    next(it)
+    with pytest.raises(ValueError, match=":2: bad JSON"):
+        next(it)
+
+
+def test_write_trace_validates_before_commit(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with pytest.raises(ValueError):
+        write_trace(path, [{"v": 1, "type": "nope", "t": 0.0}])
+    assert not path.exists()  # atomic: nothing half-written

@@ -108,6 +108,48 @@ def test_pending_counts_live_events():
     assert sim.pending() == 1
 
 
+def test_pending_is_constant_time_counter():
+    # pending() must not scan the heap: cancelled events linger there
+    # until popped, but the live count reflects them immediately.
+    sim = Simulator()
+    events = [sim.schedule(1.0 + i, lambda: None) for i in range(100)]
+    for ev in events[:60]:
+        ev.cancel()
+    assert sim.pending() == 40
+    assert len(sim._heap) == 100  # lazy deletion: heap still holds them
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    e1.cancel()  # double cancel must not decrement twice
+    assert sim.pending() == 1
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    fired = []
+    e1 = sim.schedule(1.0, lambda: fired.append(1))
+    e2 = sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert fired == [1]
+    assert sim.pending() == 1
+    e1.cancel()  # already executed: must not affect the live count
+    assert sim.pending() == 1
+    e2.cancel()
+    assert sim.pending() == 0
+
+
+def test_pending_drains_to_zero_after_run():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run()
+    assert sim.pending() == 0
+
+
 def test_streams_are_reproducible_and_independent():
     a1 = Simulator(seed=7).stream("x").random()
     a2 = Simulator(seed=7).stream("x").random()

@@ -75,6 +75,32 @@ def test_queue_sampler_validation():
         QueueSampler(sim, DropTailQueue(5), interval=0.0)
 
 
+def test_queue_sampler_mean_respects_window_bounds():
+    sim = Simulator()
+    q = DropTailQueue(10)
+    sampler = QueueSampler(sim, q, interval=1.0)
+    # one packet added per second: lengths are 0,1,2,3,... at t=0,1,2,...
+    for i in range(5):
+        sim.schedule(i + 0.5, lambda: q.enqueue(Packet(1, 0, 1, seq=0), sim.now))
+    sim.run(until=5.5)
+    assert sampler.lengths == [0, 1, 2, 3, 4, 5]
+    assert sampler.mean() == pytest.approx(15.0 / 6)
+    assert sampler.mean(start=2.0, end=4.0) == pytest.approx((2 + 3 + 4) / 3)
+    assert sampler.mean(start=2.5, end=3.5) == pytest.approx(3.0)  # only t=3
+    assert sampler.mean(start=9.0) == 0.0  # empty window
+    assert sampler.mean(start=0.0, end=0.0) == pytest.approx(0.0)
+
+
+def test_queue_sampler_exports_schema_records():
+    sim = Simulator()
+    q = DropTailQueue(10)
+    sampler = QueueSampler(sim, q, interval=1.0)
+    sim.run(until=2.0)
+    recs = sampler.records(label="bn")
+    assert [r["t"] for r in recs] == sampler.times
+    assert all(r["type"] == "queue_sample" and r["queue"] == "bn" for r in recs)
+
+
 def test_drop_log_filters_by_flow():
     q = DropTailQueue(1)
     log = DropLog(q)
@@ -95,6 +121,36 @@ def test_link_window_requires_open_close(sim, dumbbell):
         _ = win.drop_rate
 
 
+def test_link_window_rejects_double_open(sim, dumbbell):
+    win = LinkWindow(sim, dumbbell.fwd)
+    win.open()
+    with pytest.raises(RuntimeError, match="already open"):
+        win.open()  # would silently reset the baselines mid-window
+
+
+def test_link_window_can_reopen_after_close(sim, dumbbell):
+    win = LinkWindow(sim, dumbbell.fwd)
+    win.open()
+    sim.run(until=1.0)
+    win.close()
+    assert win.duration == pytest.approx(1.0)
+    win.open()  # legitimate second window
+    sim.run(until=3.0)
+    win.close()
+    assert win.duration == pytest.approx(2.0)
+
+
+def test_drop_log_stores_schema_records():
+    q = DropTailQueue(1)
+    log = DropLog(q, label="bn")
+    q.enqueue(Packet(1, 0, 1, seq=0), 0.0)
+    q.enqueue(Packet(1, 0, 1, seq=7), 1.0)  # dropped (buffer full)
+    assert log.events == [(1.0, 1)]
+    [rec] = log.records
+    assert rec["type"] == "drop" and rec["queue"] == "bn"
+    assert rec["seq"] == 7 and rec["forced"] is True
+
+
 def test_throughput_sampler_rates():
     sim = Simulator()
     counter = {"bytes": 0}
@@ -108,3 +164,25 @@ def test_throughput_sampler_rates():
     sim.run(until=3.05)
     # 10 packets of 1000 B per second = 80 kbps
     assert sampler.rates_bps[1] == pytest.approx(80000.0)
+
+
+def test_throughput_sampler_alignment_and_deltas():
+    sim = Simulator()
+    counter = {"bytes": 500}  # non-zero baseline must not leak into rates
+
+    sampler = ThroughputSampler(sim, lambda: counter["bytes"], interval=0.5)
+    sim.schedule(0.2, lambda: counter.update(bytes=counter["bytes"] + 250))
+    sim.schedule(0.8, lambda: counter.update(bytes=counter["bytes"] + 750))
+    sim.run(until=1.6)
+    # first sample lands at t=interval, then every interval thereafter
+    assert sampler.times == pytest.approx([0.5, 1.0, 1.5])
+    # each rate is the delta over its own interval, not a running total
+    assert sampler.rates_bps[0] == pytest.approx(250 * 8 / 0.5)
+    assert sampler.rates_bps[1] == pytest.approx(750 * 8 / 0.5)
+    assert sampler.rates_bps[2] == pytest.approx(0.0)
+
+
+def test_throughput_sampler_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ThroughputSampler(sim, lambda: 0, interval=0.0)

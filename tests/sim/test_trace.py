@@ -28,6 +28,36 @@ def test_tracer_delayed_start():
     sender.start()
     sim.run(until=5.0)
     assert tracer.times[0] == pytest.approx(2.0)
+    # samples stay on the grid anchored at the delayed start
+    assert tracer.times == pytest.approx([2.0 + 0.5 * i
+                                          for i in range(len(tracer.times))])
+    assert len(tracer.times) == pytest.approx(7, abs=1)
+
+
+def test_tracer_start_in_past_clamps_to_now():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    sim.run(until=1.0)
+    tracer = FlowTracer(sim, sender, interval=0.5, start=0.0)
+    sim.run(until=2.0)
+    assert tracer.times[0] == pytest.approx(1.0)
+
+
+def test_tracer_stores_schema_records():
+    sim = Simulator(seed=1)
+    db = make_dumbbell(sim)
+    sender, _ = make_flow(sim, db)
+    tracer = FlowTracer(sim, sender, interval=1.0)
+    sender.start()
+    sim.run(until=3.0)
+    from repro.obs.records import validate_record
+    for rec in tracer.records:
+        validate_record(rec)
+        assert rec["type"] == "cwnd_sample"
+        assert rec["flow"] == sender.flow_id
+    assert tracer.cwnd == [r["cwnd"] for r in tracer.records]
+    assert tracer.ssthresh == [r["ssthresh"] for r in tracer.records]
 
 
 def test_tracer_stats():
