@@ -1,0 +1,184 @@
+"""Hot-path microbenchmark suite — tracks the simulator's raw speed.
+
+Three benchmarks cover the three performance-critical layers:
+
+* ``engine.churn`` — pure event-list throughput: self-rescheduling null
+  callbacks, measuring heap push/pop + dispatch with no protocol work.
+* ``dumbbell.<scheme>`` — end-to-end packet-level throughput of the
+  paper's dumbbell workload per scheme (events/s and bottleneck
+  packets/s), the number that multiplies every figure sweep.
+* ``fluid.dde`` — RK4 step rate of the Section 5 PERT/RED fluid model.
+
+Run ``PYTHONPATH=src python -m benchmarks.perf`` from the repo root to
+regenerate ``BENCH_sim.json`` (the committed perf trajectory, diffed
+PR-over-PR); ``--quick`` shrinks every workload for CI smoke runs while
+keeping the JSON schema identical.
+
+All workloads are fixed-seed: the event/step counts they report are
+deterministic, so any drift in those counts flags a behavioural (not
+just performance) change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+#: bump when the JSON layout changes (CI diffs the schema)
+SCHEMA = "repro-bench/1"
+
+#: repo root (benchmarks/perf/__init__.py -> two parents up)
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OUT = REPO_ROOT / "BENCH_sim.json"
+
+#: schemes whose dumbbell throughput is tracked: the PERT hot path, the
+#: cheapest baseline, and the router-AQM path (RED admit per packet)
+DUMBBELL_SCHEMES: Tuple[str, ...] = ("pert", "sack-droptail", "sack-red-ecn")
+
+DUMBBELL_KWARGS = dict(
+    bandwidth=8e6, rtt=0.05, n_fwd=8, duration=6.0, warmup=2.0, seed=2,
+)
+DUMBBELL_KWARGS_QUICK = dict(
+    bandwidth=4e6, rtt=0.05, n_fwd=4, duration=3.0, warmup=1.0, seed=2,
+)
+
+
+def _ensure_src_on_path() -> None:
+    """Allow running from a repo-root checkout without PYTHONPATH=src."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def bench_engine(n_events: int = 200_000, chains: int = 200,
+                 repeat: int = 3) -> Dict:
+    """Event-list churn: *chains* self-rescheduling null callback chains.
+
+    Measures heap push/pop plus dispatch with no protocol logic — the
+    ceiling every packet-level workload sits under.
+    """
+    _ensure_src_on_path()
+    from repro.sim.engine import Simulator
+
+    depth = n_events // chains
+
+    def _once() -> Tuple[float, int]:
+        sim = Simulator(seed=0)
+
+        def tick(remaining: int) -> None:
+            if remaining:
+                sim.schedule_fire(0.001, tick, remaining - 1)
+
+        for i in range(chains):
+            sim.schedule_fire(i * 1e-6, tick, depth - 1)
+        t0 = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - t0, sim.events_processed
+
+    best, events = min(_once() for _ in range(repeat))
+    return {
+        "params": {"n_events": n_events, "chains": chains, "repeat": repeat},
+        "events": events,
+        "best_seconds": best,
+        "events_per_sec": events / best,
+    }
+
+
+def bench_dumbbell(schemes: Sequence[str] = DUMBBELL_SCHEMES,
+                   repeat: int = 3, **kwargs) -> Dict[str, Dict]:
+    """Per-scheme dumbbell throughput (events/s, bottleneck packets/s).
+
+    *kwargs* override :data:`DUMBBELL_KWARGS`; the same kwargs are
+    recorded in each entry so regression guards can re-run the exact
+    workload.
+    """
+    _ensure_src_on_path()
+    from repro.experiments.common import run_dumbbell
+
+    params = dict(DUMBBELL_KWARGS)
+    params.update(kwargs)
+    out: Dict[str, Dict] = {}
+    for scheme in schemes:
+        best = float("inf")
+        events = packets = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            result = run_dumbbell(scheme, collector=False, keep_refs=True,
+                                  **params)
+            elapsed = time.perf_counter() - t0
+            db = result.extras["dumbbell"]
+            run_events = result.events_processed
+            run_packets = db.fwd.packets_transmitted + db.rev.packets_transmitted
+            if events is None:
+                events, packets = run_events, run_packets
+            elif (events, packets) != (run_events, run_packets):
+                raise AssertionError(
+                    f"{scheme}: fixed-seed run not deterministic "
+                    f"({events},{packets}) vs ({run_events},{run_packets})"
+                )
+            best = min(best, elapsed)
+        out[scheme] = {
+            "params": dict(params),
+            "events": events,
+            "packets": packets,
+            "best_seconds": best,
+            "events_per_sec": events / best,
+            "packets_per_sec": packets / best,
+        }
+    return out
+
+
+def bench_fluid(duration: float = 40.0, dt: float = 1e-3,
+                repeat: int = 3) -> Dict:
+    """RK4 step rate of the PERT/RED fluid DDE (Section 5 model)."""
+    _ensure_src_on_path()
+    from repro.fluid.pert_red import PertRedFluidModel
+
+    model = PertRedFluidModel()
+    n_steps = int(round(duration / dt))
+
+    def _once() -> float:
+        t0 = time.perf_counter()
+        model.simulate(duration, dt=dt)
+        return time.perf_counter() - t0
+
+    best = min(_once() for _ in range(repeat))
+    return {
+        "params": {"duration": duration, "dt": dt, "repeat": repeat},
+        "steps": n_steps,
+        "best_seconds": best,
+        "steps_per_sec": n_steps / best,
+    }
+
+
+def run_suite(quick: bool = False, repeat: int = 3) -> Dict:
+    """Run every benchmark; returns the ``BENCH_sim.json`` payload."""
+    if quick:
+        engine = bench_engine(n_events=50_000, chains=100, repeat=repeat)
+        dumbbell = bench_dumbbell(repeat=repeat, **DUMBBELL_KWARGS_QUICK)
+        fluid = bench_fluid(duration=10.0, repeat=repeat)
+    else:
+        engine = bench_engine(repeat=repeat)
+        dumbbell = bench_dumbbell(repeat=repeat)
+        fluid = bench_fluid(repeat=repeat)
+    benchmarks = {"engine.churn": engine, "fluid.dde": fluid}
+    for scheme, entry in dumbbell.items():
+        benchmarks[f"dumbbell.{scheme}"] = entry
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "benchmarks": benchmarks,
+    }
+
+
+def write_results(results: Dict, out: Optional[Path] = None) -> Path:
+    path = Path(out) if out is not None else DEFAULT_OUT
+    with path.open("w") as fh:
+        json.dump(results, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path

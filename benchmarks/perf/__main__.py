@@ -1,0 +1,41 @@
+"""CLI: regenerate BENCH_sim.json.
+
+    PYTHONPATH=src python -m benchmarks.perf [--quick] [--repeat N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import DEFAULT_OUT, run_suite, write_results
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="benchmarks.perf",
+        description="Run the hot-path microbenchmarks and write BENCH_sim.json",
+    )
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized workloads (same JSON schema)")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="best-of-N repetitions per benchmark (default 3)")
+    ap.add_argument("--out", default=str(DEFAULT_OUT),
+                    help=f"output path (default {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+
+    results = run_suite(quick=args.quick, repeat=args.repeat)
+    for name in sorted(results["benchmarks"]):
+        entry = results["benchmarks"][name]
+        rate = (entry.get("events_per_sec") or entry.get("steps_per_sec"))
+        unit = "ev/s" if "events_per_sec" in entry else "steps/s"
+        line = f"{name:24s} {rate:12,.0f} {unit}"
+        if "packets_per_sec" in entry:
+            line += f"  ({entry['packets_per_sec']:,.0f} pkt/s)"
+        print(line)
+    path = write_results(results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,8 @@ class EwmaRtt:
         if not 0.0 <= weight < 1.0:
             raise ValueError("weight must be in [0, 1)")
         self.weight = weight
+        # hoisted out of update(): the per-ACK path must not recompute it
+        self._gain = 1.0 - weight
         self.value: Optional[float] = None
         self.min_rtt = float("inf")
         self.samples = 0
@@ -46,12 +48,15 @@ class EwmaRtt:
         if sample <= 0:
             raise ValueError("RTT samples must be positive")
         self.samples += 1
-        self.min_rtt = min(self.min_rtt, sample)
-        if self.value is None:
+        if sample < self.min_rtt:
+            self.min_rtt = sample
+        value = self.value
+        if value is None:
             self.value = sample
-        else:
-            self.value = self.weight * self.value + (1.0 - self.weight) * sample
-        return self.value
+            return sample
+        value = self.weight * value + self._gain * sample
+        self.value = value
+        return value
 
     @property
     def queuing_delay(self) -> float:

@@ -20,9 +20,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .report import format_table
-from .sweep import SECTION4_SCHEMES, sweep_dumbbell
+from .scenarios import ScenarioPoint, ScenarioSpec
+from .sweep import SECTION4_SCHEMES
 
-__all__ = ["run", "main", "DEFAULT_BANDWIDTHS"]
+__all__ = ["spec", "run", "main", "DEFAULT_BANDWIDTHS"]
 
 PAPER_EXPECTATION = (
     "Queue: droptail high, PERT <= RED-ECN, Vegas sometimes above "
@@ -39,6 +40,37 @@ def _flows_for_bandwidth(bw: float) -> int:
     return max(3, min(40, int(round(bw / 1e6)) * 2))
 
 
+def spec(
+    bandwidths: Optional[Sequence[float]] = None,
+    rtt: float = 0.060,
+    duration: float = 40.0,
+    warmup: float = 15.0,
+    seed: int = 1,
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+    web_sessions: int = 3,
+) -> ScenarioSpec:
+    """Declarative sweep spec for this figure."""
+    bandwidths = list(bandwidths) if bandwidths is not None else DEFAULT_BANDWIDTHS
+    points = [
+        ScenarioPoint(
+            overrides={"bandwidth": bw, "n_fwd": _flows_for_bandwidth(bw)},
+            tags={"bandwidth_mbps": bw / 1e6, "n_fwd": _flows_for_bandwidth(bw)},
+        )
+        for bw in bandwidths
+    ]
+    return ScenarioSpec(
+        name="fig6_bandwidth",
+        title="Figure 6 — impact of bottleneck bandwidth",
+        points=points,
+        schemes=tuple(schemes),
+        base=dict(rtt=rtt, duration=duration, warmup=warmup, seed=seed,
+                  web_sessions=web_sessions),
+        columns=("bandwidth_mbps", "n_fwd", "scheme", "norm_queue",
+                 "drop_rate", "utilization", "jain"),
+        expectation=PAPER_EXPECTATION,
+    )
+
+
 def run(
     bandwidths: Optional[Sequence[float]] = None,
     rtt: float = 0.060,
@@ -48,33 +80,15 @@ def run(
     schemes: Sequence[str] = SECTION4_SCHEMES,
     web_sessions: int = 3,
 ) -> List[dict]:
-    bandwidths = list(bandwidths) if bandwidths is not None else DEFAULT_BANDWIDTHS
-    points = [
-        {"bandwidth": bw, "n_fwd": _flows_for_bandwidth(bw)} for bw in bandwidths
-    ]
-    rows = sweep_dumbbell(
-        points,
-        schemes=schemes,
-        rtt=rtt,
-        duration=duration,
-        warmup=warmup,
-        seed=seed,
-        web_sessions=web_sessions,
-    )
-    for row in rows:
-        row["bandwidth_mbps"] = row.pop("bandwidth") / 1e6
-    return rows
+    return spec(bandwidths, rtt=rtt, duration=duration, warmup=warmup,
+                seed=seed, schemes=schemes, web_sessions=web_sessions).run()
 
 
 def main() -> None:
-    rows = run()
-    print(format_table(
-        rows,
-        ["bandwidth_mbps", "n_fwd", "scheme", "norm_queue", "drop_rate",
-         "utilization", "jain"],
-        title="Figure 6 — impact of bottleneck bandwidth",
-    ))
-    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+    scenario = spec()
+    rows = scenario.run()
+    print(format_table(rows, list(scenario.columns), title=scenario.title))
+    print(f"\nPaper expectation: {scenario.expectation}")
 
 
 if __name__ == "__main__":

@@ -14,10 +14,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .report import format_table
-from .sweep import SECTION4_SCHEMES, result_row
-from .common import run_dumbbell
+from .scenarios import ScenarioPoint, ScenarioSpec
+from .sweep import SECTION4_SCHEMES
 
-__all__ = ["run", "main", "DEFAULT_RTTS"]
+__all__ = ["spec", "run", "main", "DEFAULT_RTTS"]
 
 PAPER_EXPECTATION = (
     "Queue and drop rate of PERT similar to SACK/RED-ECN across RTTs; "
@@ -26,6 +26,43 @@ PAPER_EXPECTATION = (
 )
 
 DEFAULT_RTTS = [0.02, 0.04, 0.06, 0.120, 0.240, 0.400]
+
+
+def spec(
+    rtts: Optional[Sequence[float]] = None,
+    bandwidth: float = 16e6,
+    n_fwd: int = 12,
+    seed: int = 1,
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+    web_sessions: int = 3,
+    base_duration: float = 40.0,
+) -> ScenarioSpec:
+    """Declarative sweep spec for this figure.
+
+    The run length is a per-point override — longer feedback loops need
+    longer runs (~200 RTTs of steady state) — while only ``rtt_ms``
+    appears as a row column.
+    """
+    rtts = list(rtts) if rtts is not None else DEFAULT_RTTS
+    points = []
+    for rtt in rtts:
+        duration = max(base_duration, 300.0 * rtt)
+        points.append(ScenarioPoint(
+            overrides={"rtt": rtt, "duration": duration,
+                       "warmup": duration * 0.375},
+            tags={"rtt_ms": rtt * 1e3},
+        ))
+    return ScenarioSpec(
+        name="fig7_rtt",
+        title="Figure 7 — impact of end-to-end RTT",
+        points=points,
+        schemes=tuple(schemes),
+        base=dict(bandwidth=bandwidth, n_fwd=n_fwd, seed=seed,
+                  web_sessions=web_sessions),
+        columns=("rtt_ms", "scheme", "norm_queue", "drop_rate",
+                 "utilization", "jain"),
+        expectation=PAPER_EXPECTATION,
+    )
 
 
 def run(
@@ -37,35 +74,16 @@ def run(
     web_sessions: int = 3,
     base_duration: float = 40.0,
 ) -> List[dict]:
-    rtts = list(rtts) if rtts is not None else DEFAULT_RTTS
-    rows: List[dict] = []
-    for rtt in rtts:
-        # Longer feedback loops need longer runs: ~200 RTTs of steady state.
-        duration = max(base_duration, 300.0 * rtt)
-        warmup = duration * 0.375
-        for scheme in schemes:
-            result = run_dumbbell(
-                scheme,
-                bandwidth=bandwidth,
-                rtt=rtt,
-                n_fwd=n_fwd,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-                web_sessions=web_sessions,
-            )
-            rows.append(result_row(result, {"rtt_ms": rtt * 1e3}))
-    return rows
+    return spec(rtts, bandwidth=bandwidth, n_fwd=n_fwd, seed=seed,
+                schemes=schemes, web_sessions=web_sessions,
+                base_duration=base_duration).run()
 
 
 def main() -> None:
-    rows = run()
-    print(format_table(
-        rows,
-        ["rtt_ms", "scheme", "norm_queue", "drop_rate", "utilization", "jain"],
-        title="Figure 7 — impact of end-to-end RTT",
-    ))
-    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+    scenario = spec()
+    rows = scenario.run()
+    print(format_table(rows, list(scenario.columns), title=scenario.title))
+    print(f"\nPaper expectation: {scenario.expectation}")
 
 
 if __name__ == "__main__":

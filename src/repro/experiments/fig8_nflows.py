@@ -15,9 +15,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .report import format_table
-from .sweep import SECTION4_SCHEMES, sweep_dumbbell
+from .scenarios import ScenarioPoint, ScenarioSpec
+from .sweep import SECTION4_SCHEMES
 
-__all__ = ["run", "main", "DEFAULT_FLOW_COUNTS"]
+__all__ = ["spec", "run", "main", "DEFAULT_FLOW_COUNTS"]
 
 PAPER_EXPECTATION = (
     "PERT queue/drops similar to RED-ECN at every flow count; Vegas "
@@ -26,6 +27,37 @@ PAPER_EXPECTATION = (
 )
 
 DEFAULT_FLOW_COUNTS = [1, 2, 5, 10, 20, 40, 80]
+
+
+def spec(
+    flow_counts: Optional[Sequence[int]] = None,
+    bandwidth: float = 32e6,
+    rtt: float = 0.060,
+    duration: float = 40.0,
+    warmup: float = 15.0,
+    seed: int = 1,
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+    web_sessions: int = 3,
+) -> ScenarioSpec:
+    """Declarative sweep spec for this figure."""
+    flow_counts = (
+        list(flow_counts) if flow_counts is not None else DEFAULT_FLOW_COUNTS
+    )
+    points = [
+        ScenarioPoint(overrides={"n_fwd": n}, tags={"n_fwd": n})
+        for n in flow_counts
+    ]
+    return ScenarioSpec(
+        name="fig8_nflows",
+        title="Figure 8 — impact of the number of long-term flows",
+        points=points,
+        schemes=tuple(schemes),
+        base=dict(bandwidth=bandwidth, rtt=rtt, duration=duration,
+                  warmup=warmup, seed=seed, web_sessions=web_sessions),
+        columns=("n_fwd", "scheme", "norm_queue", "drop_rate",
+                 "utilization", "jain"),
+        expectation=PAPER_EXPECTATION,
+    )
 
 
 def run(
@@ -38,30 +70,16 @@ def run(
     schemes: Sequence[str] = SECTION4_SCHEMES,
     web_sessions: int = 3,
 ) -> List[dict]:
-    flow_counts = (
-        list(flow_counts) if flow_counts is not None else DEFAULT_FLOW_COUNTS
-    )
-    points = [{"n_fwd": n} for n in flow_counts]
-    return sweep_dumbbell(
-        points,
-        schemes=schemes,
-        bandwidth=bandwidth,
-        rtt=rtt,
-        duration=duration,
-        warmup=warmup,
-        seed=seed,
-        web_sessions=web_sessions,
-    )
+    return spec(flow_counts, bandwidth=bandwidth, rtt=rtt, duration=duration,
+                warmup=warmup, seed=seed, schemes=schemes,
+                web_sessions=web_sessions).run()
 
 
 def main() -> None:
-    rows = run()
-    print(format_table(
-        rows,
-        ["n_fwd", "scheme", "norm_queue", "drop_rate", "utilization", "jain"],
-        title="Figure 8 — impact of the number of long-term flows",
-    ))
-    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+    scenario = spec()
+    rows = scenario.run()
+    print(format_table(rows, list(scenario.columns), title=scenario.title))
+    print(f"\nPaper expectation: {scenario.expectation}")
 
 
 if __name__ == "__main__":

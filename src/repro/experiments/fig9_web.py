@@ -14,9 +14,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .report import format_table
-from .sweep import SECTION4_SCHEMES, sweep_dumbbell
+from .scenarios import ScenarioPoint, ScenarioSpec
+from .sweep import SECTION4_SCHEMES
 
-__all__ = ["run", "main", "DEFAULT_SESSION_COUNTS"]
+__all__ = ["spec", "run", "main", "DEFAULT_SESSION_COUNTS"]
 
 PAPER_EXPECTATION = (
     "PERT: low queue and ~zero drops at every web load, like RED-ECN; "
@@ -24,6 +25,38 @@ PAPER_EXPECTATION = (
 )
 
 DEFAULT_SESSION_COUNTS = [2, 4, 8, 16, 32]
+
+
+def spec(
+    session_counts: Optional[Sequence[int]] = None,
+    bandwidth: float = 10e6,
+    rtt: float = 0.060,
+    n_fwd: int = 8,
+    duration: float = 40.0,
+    warmup: float = 15.0,
+    seed: int = 1,
+    schemes: Sequence[str] = SECTION4_SCHEMES,
+) -> ScenarioSpec:
+    """Declarative sweep spec for this figure."""
+    session_counts = (
+        list(session_counts) if session_counts is not None
+        else DEFAULT_SESSION_COUNTS
+    )
+    points = [
+        ScenarioPoint(overrides={"web_sessions": n}, tags={"web_sessions": n})
+        for n in session_counts
+    ]
+    return ScenarioSpec(
+        name="fig9_web",
+        title="Figure 9 — impact of web traffic",
+        points=points,
+        schemes=tuple(schemes),
+        base=dict(bandwidth=bandwidth, rtt=rtt, n_fwd=n_fwd,
+                  duration=duration, warmup=warmup, seed=seed),
+        columns=("web_sessions", "scheme", "norm_queue", "drop_rate",
+                 "utilization", "jain"),
+        expectation=PAPER_EXPECTATION,
+    )
 
 
 def run(
@@ -36,32 +69,16 @@ def run(
     seed: int = 1,
     schemes: Sequence[str] = SECTION4_SCHEMES,
 ) -> List[dict]:
-    session_counts = (
-        list(session_counts) if session_counts is not None
-        else DEFAULT_SESSION_COUNTS
-    )
-    points = [{"web_sessions": n} for n in session_counts]
-    return sweep_dumbbell(
-        points,
-        schemes=schemes,
-        bandwidth=bandwidth,
-        rtt=rtt,
-        n_fwd=n_fwd,
-        duration=duration,
-        warmup=warmup,
-        seed=seed,
-    )
+    return spec(session_counts, bandwidth=bandwidth, rtt=rtt, n_fwd=n_fwd,
+                duration=duration, warmup=warmup, seed=seed,
+                schemes=schemes).run()
 
 
 def main() -> None:
-    rows = run()
-    print(format_table(
-        rows,
-        ["web_sessions", "scheme", "norm_queue", "drop_rate", "utilization",
-         "jain"],
-        title="Figure 9 — impact of web traffic",
-    ))
-    print(f"\nPaper expectation: {PAPER_EXPECTATION}")
+    scenario = spec()
+    rows = scenario.run()
+    print(format_table(rows, list(scenario.columns), title=scenario.title))
+    print(f"\nPaper expectation: {scenario.expectation}")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ and Section 6 adds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Type
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Type
 
 from ..core.config import PertPiConfig
 from ..core.pert import PertSender
@@ -25,13 +25,20 @@ from ..core.pert_pi import PertPiSender
 from ..core.pert_rem import PertRemSender
 from ..fluid.stability import pert_pi_gains
 from ..sim.engine import Simulator
-from ..sim.queues import DropTailQueue, PiQueue, QueueDiscipline, RedQueue
+from ..sim.queues import QueueConfig, QueueDiscipline, make_queue
 from ..tcp.base import TcpSender
 from ..tcp.reno import NewRenoSender
 from ..tcp.sack import SackEcnSender, SackSender
 from ..tcp.vegas import VegasSender
 
-__all__ = ["Scheme", "SCHEMES", "get_scheme", "scheme_sender_kwargs"]
+__all__ = [
+    "Scheme",
+    "SCHEMES",
+    "get_scheme",
+    "scheme_sender_kwargs",
+    "ScenarioPoint",
+    "ScenarioSpec",
+]
 
 
 @dataclass
@@ -51,7 +58,7 @@ class Scheme:
 
 def _droptail(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
               pkt_size: int, n_flows: int, rtt: float) -> QueueDiscipline:
-    return DropTailQueue(capacity_pkts=buffer_pkts)
+    return make_queue(QueueConfig("droptail", capacity_pkts=buffer_pkts))
 
 
 def _adaptive_red(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
@@ -62,17 +69,20 @@ def _adaptive_red(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
     pkt_rate = bandwidth_bps / (8.0 * pkt_size)
     min_th = max(5.0, min(0.01 * pkt_rate, buffer_pkts / 4.0))
     max_th = 3.0 * min_th
-    return RedQueue(
+    cfg = QueueConfig(
+        "red",
         capacity_pkts=buffer_pkts,
-        min_th=min_th,
-        max_th=max_th,
-        max_p=0.1,
-        gentle=True,
-        ecn=True,
-        adaptive=True,
-        mean_pkt_time=1.0 / pkt_rate,
-        rng=sim.stream("red", unique=True),
+        params=dict(
+            min_th=min_th,
+            max_th=max_th,
+            max_p=0.1,
+            gentle=True,
+            ecn=True,
+            adaptive=True,
+            mean_pkt_time=1.0 / pkt_rate,
+        ),
     )
+    return make_queue(cfg, sim=sim)
 
 
 def _pi_queue(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
@@ -87,16 +97,18 @@ def _pi_queue(sim: Simulator, buffer_pkts: int, bandwidth_bps: float,
     gamma = k / m + k * delta / 2.0
     beta = k / m - k * delta / 2.0
     q_ref = max(1.0, 0.003 * pkt_rate)  # 3 ms target delay
-    return PiQueue(
+    cfg = QueueConfig(
+        "pi",
         capacity_pkts=buffer_pkts,
-        q_ref=q_ref,
-        a=gamma / pkt_rate,
-        b=beta / pkt_rate,
-        sample_hz=sample_hz,
-        ecn=True,
-        sim=sim,
-        rng=sim.stream("pi", unique=True),
+        params=dict(
+            q_ref=q_ref,
+            a=gamma / pkt_rate,
+            b=beta / pkt_rate,
+            sample_hz=sample_hz,
+            ecn=True,
+        ),
     )
+    return make_queue(cfg, sim=sim)
 
 
 def _make_pert_pi_kwargs(bandwidth_bps: float, pkt_size: int, n_flows: int,
@@ -140,3 +152,84 @@ def scheme_sender_kwargs(scheme: Scheme, bandwidth_bps: float, pkt_size: int,
         kw.update(_make_pert_pi_kwargs(bandwidth_bps, pkt_size, n_flows, rtt))
         return kw
     return dict(scheme.sender_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Declarative scenario specs (the Section 4 figure sweeps)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One sweep point of a scenario.
+
+    ``overrides`` are :func:`repro.experiments.common.run_dumbbell`
+    keyword overrides for this point; ``tags`` are the row columns that
+    identify the point in the result table.  Keeping them separate lets
+    a point carry derived run parameters (e.g. Figure 7's per-RTT
+    duration) without those leaking into the reported rows.
+    """
+
+    overrides: Mapping[str, Any]
+    tags: Mapping[str, Any]
+
+
+@dataclass
+class ScenarioSpec:
+    """Declarative description of one figure-style dumbbell sweep.
+
+    A spec is the single source of truth an experiment module needs:
+    the shared topology/traffic parameters (``base``), the sweep points,
+    the schemes to overlay, and the reporting metadata (``columns``,
+    ``title``, ``expectation``).  :meth:`run` expands the grid through
+    :func:`repro.experiments.sweep.sweep_dumbbell`, which supplies
+    process fan-out, caching and crash isolation; rows come back in
+    point-major, scheme-minor order, exactly as the historical
+    hand-rolled loops produced them.
+    """
+
+    name: str
+    title: str
+    points: List[ScenarioPoint]
+    #: ``None`` means the Section 4 comparison set
+    schemes: Optional[Sequence[str]] = None
+    #: shared ``run_dumbbell`` keyword arguments
+    base: Dict[str, Any] = field(default_factory=dict)
+    #: table columns for reporting, in display order
+    columns: Sequence[str] = ()
+    #: the paper's qualitative expectation for this figure
+    expectation: str = ""
+
+    def kwargs_for(self, point: ScenarioPoint) -> Dict[str, Any]:
+        """Full ``run_dumbbell`` kwargs for *point* (base + overrides)."""
+        kwargs = dict(self.base)
+        kwargs.update(point.overrides)
+        return kwargs
+
+    def resolved_schemes(self) -> Sequence[str]:
+        if self.schemes is not None:
+            return tuple(self.schemes)
+        from .sweep import SECTION4_SCHEMES  # local: avoids an import cycle
+        return SECTION4_SCHEMES
+
+    def run(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache=None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress=None,
+    ) -> List[Dict]:
+        """Run every scheme at every point; returns flattened table rows."""
+        from .sweep import sweep_dumbbell  # local: avoids an import cycle
+        return sweep_dumbbell(
+            [dict(p.overrides) for p in self.points],
+            schemes=self.resolved_schemes(),
+            tags=[dict(p.tags) for p in self.points],
+            workers=workers,
+            cache=cache,
+            timeout=timeout,
+            retries=retries,
+            progress=progress,
+            **self.base,
+        )

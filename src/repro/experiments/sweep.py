@@ -71,6 +71,7 @@ def sweep_dumbbell(
     points: Sequence[Dict],
     schemes: Iterable[str] = SECTION4_SCHEMES,
     *,
+    tags: Optional[Sequence[Dict]] = None,
     workers: Optional[int] = None,
     cache=None,
     timeout: Optional[float] = None,
@@ -81,9 +82,12 @@ def sweep_dumbbell(
     """Run every scheme at every sweep point.
 
     *points* are dicts of :func:`repro.experiments.common.run_dumbbell`
-    keyword overrides; any extra keys the runner does not accept should
-    not appear here — tag columns are added by the caller via the point
-    values themselves.
+    keyword overrides.  *tags* (parallel to *points*) supplies the row
+    columns identifying each point; when omitted, the point dict itself
+    is used — appropriate when the override keys are the natural column
+    names.  :class:`~repro.experiments.scenarios.ScenarioSpec` passes
+    explicit tags so that derived run parameters (per-point durations,
+    unit conversions) stay out of the result rows.
 
     Execution goes through :func:`repro.runner.run_jobs`: ``workers``
     selects process fan-out (``0`` = serial in-process fallback, ``None``
@@ -92,14 +96,18 @@ def sweep_dumbbell(
     fails after its retries yields a NaN-metric row flagged
     ``failed=True`` instead of aborting the sweep.
     """
+    if tags is None:
+        tags = list(points)
+    elif len(tags) != len(points):
+        raise ValueError("tags must have one entry per point")
     schemes = tuple(schemes)
-    specs, tags = [], []
-    for point in points:
+    specs, job_tags = [], []
+    for point, tag in zip(points, tags):
         for scheme in schemes:
             kwargs = dict(base_kwargs)
             kwargs.update(point)
             specs.append(dumbbell_spec(scheme, **kwargs))
-            tags.append((scheme, point))
+            job_tags.append((scheme, tag))
     results = run_jobs(
         specs,
         workers=workers,
@@ -109,9 +117,9 @@ def sweep_dumbbell(
         progress=progress,
     )
     rows: List[Dict] = []
-    for res, (scheme, point) in zip(results, tags):
+    for res, (scheme, tag) in zip(results, job_tags):
         if res.ok:
-            rows.append(result_row(res.value, point))
+            rows.append(result_row(res.value, tag))
         else:
-            rows.append(failed_row(scheme, point, res.error))
+            rows.append(failed_row(scheme, tag, res.error))
     return rows

@@ -10,7 +10,7 @@ sampled time back up by the period.
 
 The profiler observes wall time only — it never touches simulation
 state, so a profiled run produces identical results (the dispatch path
-calls exactly ``ev.fn(*ev.args)`` either way).
+calls exactly ``fn(*args)`` either way).
 """
 
 from __future__ import annotations
@@ -32,16 +32,15 @@ class SamplingProfiler:
         #: qualname -> [sample_count, sampled_seconds]
         self.samples: Dict[str, List[float]] = {}
 
-    def dispatch(self, ev) -> None:
-        """Run one event, timing it if it falls on the sampling grid."""
+    def dispatch(self, fn, args) -> None:
+        """Run one event callback, timing it if it falls on the sampling grid."""
         self.events += 1
         if self.events % self.period:
-            ev.fn(*ev.args)
+            fn(*args)
             return
         t0 = perf_counter()
-        ev.fn(*ev.args)
+        fn(*args)
         dt = perf_counter() - t0
-        fn = ev.fn
         key = getattr(fn, "__qualname__", None) or repr(fn)
         cell = self.samples.get(key)
         if cell is None:

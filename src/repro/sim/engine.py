@@ -10,15 +10,31 @@ seed.
 The simulator owns a master random seed; components derive independent
 :class:`random.Random` streams from it via :meth:`Simulator.stream` so that
 changing one traffic source's draws does not perturb another's.
+
+Performance notes
+-----------------
+The event list is the hottest data structure in the whole reproduction —
+every packet hop is at least two heap operations — so the heap stores
+``(time, seq, fn, args, event)`` tuples rather than bare :class:`Event`
+objects.  Tuple comparison happens in C and never reaches the third
+element (``seq`` is unique), which removes the per-comparison Python
+call that used to dominate profiles.  The ``event`` slot is ``None`` for
+callbacks scheduled through :meth:`Simulator.schedule_fire`, the
+fire-and-forget path used by the per-hop link machinery: those events
+cannot be cancelled, so no handle object is ever allocated for them.
+:meth:`Simulator.schedule` and :meth:`Simulator.schedule_at` are
+deliberately flat (no delegation between them) for the same reason.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -28,9 +44,12 @@ class SimulationError(RuntimeError):
 class Event:
     """A pending callback in the event list.
 
-    Events compare by ``(time, seq)``; ``seq`` is a monotonically
+    Events order by ``(time, seq)``; ``seq`` is a monotonically
     increasing counter that breaks ties deterministically.  Cancellation is
-    lazy: the event is flagged and skipped when popped.
+    lazy: the event is flagged and skipped when popped.  The heap itself
+    holds ``(time, seq, fn, args, event)`` tuples, so ``__lt__`` below
+    exists only for explicit comparisons in user code and tests — the hot
+    path never calls it.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
@@ -85,10 +104,23 @@ class Simulator:
         stream's label, so simulations are exactly repeatable.
     """
 
+    __slots__ = (
+        "now",
+        "seed",
+        "_heap",
+        "_seq",
+        "_live",
+        "_running",
+        "events_processed",
+        "_stream_labels",
+        "_stream_counts",
+        "profiler",
+    )
+
     def __init__(self, seed: int = 1):
         self.now: float = 0.0
         self.seed = seed
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Callable, tuple, Optional[Event]]] = []
         self._seq = 0
         self._live = 0  # non-cancelled, not-yet-fired events
         self._running = False
@@ -139,19 +171,56 @@ class Simulator:
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule *fn(*args)* to run *delay* seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        """Schedule *fn(*args)* to run *delay* seconds from now.
+
+        *delay* must be finite and non-negative: a ``nan`` or ``inf``
+        delay would silently corrupt heap ordering (``nan`` compares
+        false against everything), so both raise :class:`SimulationError`.
+        """
+        # `not (0 <= delay)` is deliberate: it is the cheapest test that
+        # also catches nan, which fails every comparison.
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"bad delay {delay!r}: must be finite and >= 0")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        ev = Event(time, seq, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, seq, fn, args, ev))
+        return ev
+
+    def schedule_fire(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule *fn(*args)* *delay* seconds from now, with no handle.
+
+        Fire-and-forget fast path for callers that never cancel (the
+        per-hop link machinery schedules two of these per packet): no
+        :class:`Event` object is allocated, so there is nothing to
+        cancel.  Ordering semantics are identical to :meth:`schedule` —
+        the callback still consumes a sequence number and fires in
+        schedule order on time ties.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"bad delay {delay!r}: must be finite and >= 0")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (self.now + delay, seq, fn, args, None))
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule *fn(*args)* at absolute simulation *time*."""
-        if time < self.now:
-            raise SimulationError(f"cannot schedule at {time!r} < now {self.now!r}")
-        ev = Event(time, self._seq, fn, args, sim=self)
-        self._seq += 1
+        """Schedule *fn(*args)* at absolute simulation *time*.
+
+        *time* must be finite and not in the past; ``nan``/``inf`` raise
+        :class:`SimulationError` instead of corrupting the event list.
+        """
+        if not self.now <= time < _INF:
+            raise SimulationError(
+                f"bad time {time!r}: must be finite and >= now {self.now!r}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, ev)
+        ev = Event(time, seq, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, seq, fn, args, ev))
         return ev
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -178,30 +247,41 @@ class Simulator:
         self._running = True
         processed = 0
         profiler = self.profiler
+        heap = self._heap
+        heappop = heapq.heappop
+        horizon = until if until is not None else _INF
+        budget = max_events if max_events is not None else -1
         try:
-            while self._heap:
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
+            # Pop-first rather than peek-then-pop: the horizon is crossed
+            # at most once per run() call, so pushing that single event
+            # back is far cheaper than indexing heap[0] on every loop.
+            while heap:
+                entry = heappop(heap)
+                ev = entry[4]
+                if ev is not None and ev.cancelled:
                     continue
-                if until is not None and ev.time > until:
+                time = entry[0]
+                if time > horizon:
+                    heapq.heappush(heap, entry)
                     break
-                heapq.heappop(self._heap)
-                self.now = ev.time
-                ev.fired = True
+                self.now = time
                 self._live -= 1
+                if ev is not None:
+                    ev.fired = True
                 if profiler is None:
-                    ev.fn(*ev.args)
+                    entry[2](*entry[3])
                 else:
-                    profiler.dispatch(ev)
+                    profiler.dispatch(entry[2], entry[3])
                 processed += 1
-                self.events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed == budget:
                     break
             if until is not None and self.now < until:
                 self.now = until
         finally:
             self._running = False
+            # Batched outside the loop: callbacks never observe this
+            # counter mid-run, only harness code reads it afterwards.
+            self.events_processed += processed
 
     def pending(self) -> int:
         """Number of live (non-cancelled, not-yet-fired) events — O(1)."""

@@ -28,6 +28,8 @@ class JitterLink(Link):
     arrive before an earlier one (reordering), unlike the FIFO base link.
     """
 
+    __slots__ = ("jitter", "rng", "reorder_opportunities", "_last_arrival")
+
     def __init__(
         self,
         sim: Simulator,

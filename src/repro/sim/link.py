@@ -36,6 +36,22 @@ class Link:
         Queue discipline instance guarding the transmitter.
     """
 
+    __slots__ = (
+        "sim",
+        "src",
+        "dst",
+        "bandwidth",
+        "delay",
+        "qdisc",
+        "_busy",
+        "bytes_transmitted",
+        "packets_transmitted",
+        "busy_time",
+        "_ser_time",
+        "obs",
+        "obs_label",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -59,6 +75,12 @@ class Link:
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
         self.busy_time = 0.0
+        #: serialization-time memo, size -> seconds.  Real traffic uses a
+        #: handful of distinct packet sizes, so this collapses the per-hop
+        #: float division to a dict hit.  Entries are computed with the
+        #: exact expression ``size * 8.0 / bandwidth`` so cached and
+        #: uncached runs are bit-identical.
+        self._ser_time: dict = {}
         #: observability attachment (:class:`repro.obs.Collector`)
         self.obs = None
         self.obs_label = None
@@ -71,21 +93,26 @@ class Link:
             self._start_next()
 
     def _start_next(self) -> None:
-        pkt = self.qdisc.dequeue(self.sim.now)
+        sim = self.sim
+        pkt = self.qdisc.dequeue(sim.now)
         if pkt is None:
             self._busy = False
             return
         self._busy = True
-        tx_time = pkt.size * 8.0 / self.bandwidth
+        size = pkt.size
+        tx_time = self._ser_time.get(size)
+        if tx_time is None:
+            tx_time = size * 8.0 / self.bandwidth
+            self._ser_time[size] = tx_time
         self.busy_time += tx_time
-        self.sim.schedule(tx_time, self._tx_done, pkt)
+        sim.schedule_fire(tx_time, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_transmitted += pkt.size
         self.packets_transmitted += 1
         if self.obs is not None:
             self.obs.link_tx(self, self.sim.now)
-        self.sim.schedule(self.delay, self.dst.receive, pkt)
+        self.sim.schedule_fire(self.delay, self.dst.receive, pkt)
         self._start_next()
 
     # ------------------------------------------------------------------

@@ -28,6 +28,17 @@ class Node:
     both use the same flow id, so data and ACKs find their way).
     """
 
+    __slots__ = (
+        "sim",
+        "node_id",
+        "name",
+        "routes",
+        "endpoints",
+        "packets_forwarded",
+        "packets_delivered",
+        "packets_unroutable",
+    )
+
     def __init__(self, sim: Simulator, node_id: int, name: str = ""):
         self.sim = sim
         self.node_id = node_id
@@ -55,7 +66,8 @@ class Node:
     def receive(self, pkt: Packet) -> None:
         """Entry point for packets arriving over a link (or locally sent)."""
         pkt.hops += 1
-        if pkt.dst == self.node_id:
+        dst = pkt.dst
+        if dst == self.node_id:
             endpoint = self.endpoints.get(pkt.flow_id)
             if endpoint is not None:
                 self.packets_delivered += 1
@@ -64,7 +76,7 @@ class Node:
                 # Flow already torn down (e.g. a late ACK) — drop silently.
                 self.packets_unroutable += 1
             return
-        link = self.routes.get(pkt.dst)
+        link = self.routes.get(dst)
         if link is None:
             self.packets_unroutable += 1
             return

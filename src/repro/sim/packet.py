@@ -16,6 +16,10 @@ __all__ = ["Packet", "DATA_SIZE", "ACK_SIZE"]
 DATA_SIZE = 1000  #: default data packet size in bytes (paper uses 1000-1250)
 ACK_SIZE = 40  #: pure-ACK size in bytes
 
+#: shared default for packets with no SACK information.  Never mutated —
+#: receivers build fresh block lists; everything else only iterates.
+_NO_SACK: List[Tuple[int, int]] = []
+
 
 class Packet:
     """A simulated packet.
@@ -80,7 +84,7 @@ class Packet:
         self.seq = seq
         self.is_ack = is_ack
         self.ack_seq = ack_seq
-        self.sack_blocks = sack_blocks or []
+        self.sack_blocks = sack_blocks if sack_blocks is not None else _NO_SACK
         self.ect = ect
         self.ce = False
         self.ece = False

@@ -1,6 +1,12 @@
-"""Queue disciplines: DropTail, RED (gentle/adaptive, ECN), PI and REM AQM."""
+"""Queue disciplines: DropTail, RED (gentle/adaptive, ECN), PI and REM AQM.
+
+Construct disciplines through :func:`make_queue` with a
+:class:`QueueConfig`; the per-class constructors remain as deprecated
+shims (one :class:`DeprecationWarning` per class).
+"""
 
 from .base import QueueDiscipline, QueueStats
+from .config import DISCIPLINES, QueueConfig, make_queue
 from .droptail import DropTailQueue
 from .pi import PiQueue
 from .red import RedQueue
@@ -9,6 +15,9 @@ from .rem import RemQueue
 __all__ = [
     "QueueDiscipline",
     "QueueStats",
+    "QueueConfig",
+    "make_queue",
+    "DISCIPLINES",
     "DropTailQueue",
     "RedQueue",
     "PiQueue",

@@ -12,12 +12,59 @@ Queue capacity is expressed in *packets*, matching the paper (e.g. the
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import Deque, Optional
+from contextlib import contextmanager
+from typing import Deque, Optional, Set, Type
 
 from ..packet import Packet
 
 __all__ = ["QueueDiscipline", "QueueStats"]
+
+# ---------------------------------------------------------------------------
+# Deprecation shims for direct queue construction.
+#
+# The canonical way to build a discipline is
+# :func:`repro.sim.queues.make_queue` with a
+# :class:`~repro.sim.queues.QueueConfig`; the per-class keyword
+# constructors remain as thin shims that warn (once per class, per
+# process) when called directly.  The registry lives here — not in
+# ``config.py`` — because every concrete queue module imports this one,
+# so this is the only place free of import cycles.
+# ---------------------------------------------------------------------------
+
+#: classes whose direct construction is deprecated (populated by
+#: ``repro.sim.queues.config`` at import time)
+_LEGACY_SHIMMED: Set[Type["QueueDiscipline"]] = set()
+#: class names that have already warned this process
+_LEGACY_WARNED: Set[str] = set()
+#: >0 while make_queue() itself is constructing (suppresses the warning)
+_legacy_suppressed = 0
+
+
+@contextmanager
+def _factory_construction():
+    """Mark constructions performed by make_queue() as non-deprecated."""
+    global _legacy_suppressed
+    _legacy_suppressed += 1
+    try:
+        yield
+    finally:
+        _legacy_suppressed -= 1
+
+
+def _maybe_warn_legacy_init(cls: Type["QueueDiscipline"]) -> None:
+    if _legacy_suppressed or cls not in _LEGACY_SHIMMED:
+        return
+    if cls.__name__ in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(cls.__name__)
+    warnings.warn(
+        f"constructing {cls.__name__} directly is deprecated; use "
+        f"repro.sim.queues.make_queue(QueueConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class QueueStats:
@@ -74,7 +121,13 @@ class QueueDiscipline:
     one of ``"enqueue"``, ``"mark"`` (enqueue with CE set) or ``"drop"``.
     """
 
+    # No __slots__ here: queues are per-link (a handful per simulation),
+    # so the memory/lookup win is negligible, and tests legitimately
+    # override ``enqueue``/``dequeue`` on individual instances to spy on
+    # traffic — which needs an instance __dict__.
+
     def __init__(self, capacity_pkts: int, capacity_bytes: Optional[int] = None):
+        _maybe_warn_legacy_init(type(self))
         if capacity_pkts < 1:
             raise ValueError("queue capacity must be >= 1 packet")
         if capacity_bytes is not None and capacity_bytes < 1:
@@ -122,45 +175,56 @@ class QueueDiscipline:
     # -- mechanics ---------------------------------------------------------
     def enqueue(self, pkt: Packet, now: float) -> bool:
         """Offer *pkt* to the queue; returns True if it was accepted."""
-        self.stats.account(now, len(self._buf))
-        self.stats.arrivals += 1
+        # QueueStats.account inlined: one enqueue/dequeue per packet hop
+        # makes this the second-hottest path after the event loop.
+        stats = self.stats
+        if now > stats._last_change:
+            stats._q_integral += len(self._buf) * (now - stats._last_change)
+            stats._last_change = now
+        stats.arrivals += 1
         verdict = self.admit(pkt, now)
-        if verdict == "drop" or (verdict != "enqueue" and verdict != "mark"):
-            if verdict not in ("drop", "enqueue", "mark"):
-                raise ValueError(f"bad admit() verdict {verdict!r}")
-            self.stats.drops += 1
+        if verdict == "enqueue":
+            pass
+        elif verdict == "mark":
+            # Sanity: admit() must only mark ECN-capable packets.
+            pkt.ce = True
+            stats.marks += 1
+        elif verdict == "drop":
+            stats.drops += 1
             forced = self.is_full_for(pkt)
             if forced:
-                self.stats.forced_drops += 1
+                stats.forced_drops += 1
             else:
-                self.stats.early_drops += 1
+                stats.early_drops += 1
             for fn in self.drop_listeners:
                 fn(pkt, now)
             if self.obs is not None:
                 self.obs.queue_event(self, "drop", pkt, now, forced=forced)
             return False
-        if verdict == "mark":
-            # Sanity: admit() must only mark ECN-capable packets.
-            pkt.ce = True
-            self.stats.marks += 1
+        else:
+            raise ValueError(f"bad admit() verdict {verdict!r}")
         pkt.enqueue_time = now
         self._buf.append(pkt)
         self._bytes += pkt.size
-        self.stats.enqueues += 1
-        self.stats.bytes_in += pkt.size
+        stats.enqueues += 1
+        stats.bytes_in += pkt.size
         if self.obs is not None:
             self.obs.queue_event(self, verdict, pkt, now)
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
         """Remove and return the head-of-line packet, or ``None``."""
-        if not self._buf:
+        buf = self._buf
+        if not buf:
             return None
-        self.stats.account(now, len(self._buf))
-        pkt = self._buf.popleft()
+        stats = self.stats
+        if now > stats._last_change:
+            stats._q_integral += len(buf) * (now - stats._last_change)
+            stats._last_change = now
+        pkt = buf.popleft()
         self._bytes -= pkt.size
-        self.stats.departures += 1
-        self.stats.bytes_out += pkt.size
+        stats.departures += 1
+        stats.bytes_out += pkt.size
         if self.obs is not None:
             self.obs.queue_departure(self, pkt, now)
         return pkt

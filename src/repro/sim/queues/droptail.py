@@ -16,4 +16,3 @@ class DropTailQueue(QueueDiscipline):
 
     # The base-class admit() already implements tail drop; the subclass
     # exists so topology code can name the policy explicitly.
-    pass

@@ -47,6 +47,7 @@ class PiQueue(QueueDiscipline):
         otherwise callers must invoke :meth:`update` manually.
     """
 
+
     def __init__(
         self,
         capacity_pkts: int,
@@ -75,11 +76,11 @@ class PiQueue(QueueDiscipline):
             self._attach(sim)
 
     def _attach(self, sim: Simulator) -> None:
-        def tick() -> None:
-            self.update()
-            sim.schedule(self.period, tick)
+        sim.schedule_fire(self.period, self._tick, sim)
 
-        sim.schedule(self.period, tick)
+    def _tick(self, sim: Simulator) -> None:
+        self.update()
+        sim.schedule_fire(self.period, self._tick, sim)
 
     def update(self) -> float:
         """One controller step; returns the new mark probability."""

@@ -56,6 +56,7 @@ class RedQueue(QueueDiscipline):
         Random stream for the marking coin flips.
     """
 
+
     def __init__(
         self,
         capacity_pkts: int,

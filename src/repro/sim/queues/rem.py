@@ -48,6 +48,7 @@ class RemQueue(QueueDiscipline):
         Price update frequency.
     """
 
+
     def __init__(
         self,
         capacity_pkts: int,
@@ -78,11 +79,11 @@ class RemQueue(QueueDiscipline):
             self._attach(sim)
 
     def _attach(self, sim: Simulator) -> None:
-        def tick() -> None:
-            self.update()
-            sim.schedule(self.period, tick)
+        sim.schedule_fire(self.period, self._tick, sim)
 
-        sim.schedule(self.period, tick)
+    def _tick(self, sim: Simulator) -> None:
+        self.update()
+        sim.schedule_fire(self.period, self._tick, sim)
 
     def update(self) -> float:
         """One price step; returns the resulting mark probability."""

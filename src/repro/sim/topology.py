@@ -20,15 +20,17 @@ from .engine import Simulator
 from .link import Link
 from .node import Node
 from .queues.base import QueueDiscipline
-from .queues.droptail import DropTailQueue
+from .queues.config import QueueConfig, make_queue
 
 __all__ = ["Network", "Dumbbell", "ParkingLot", "build_dumbbell", "build_parking_lot"]
 
 QdiscFactory = Callable[[], QueueDiscipline]
 
+_DEFAULT_QUEUE = QueueConfig("droptail", capacity_pkts=1000)
+
 
 def _default_qdisc() -> QueueDiscipline:
-    return DropTailQueue(capacity_pkts=1000)
+    return make_queue(_DEFAULT_QUEUE)
 
 
 class Network:

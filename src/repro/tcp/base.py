@@ -178,17 +178,24 @@ class TcpSender:
 
     def _next_to_send(self) -> Optional[Tuple[int, bool]]:
         """Pick the next packet per RFC 6675 NextSeg: holes first, then new."""
-        for seq in sorted(self.lost):
-            if seq not in self.rtx_out and seq not in self.sacked:
-                return seq, True
-        if self._has_new_data():
+        if self.lost:
+            for seq in sorted(self.lost):
+                if seq not in self.rtx_out and seq not in self.sacked:
+                    return seq, True
+        if self.app_limit is None or self.next_seq < self.app_limit:
             return self.next_seq, False
         return None
 
     def _try_send(self) -> None:
         if not self.started or self.done:
             return
-        while self.pipe < min(self.cwnd, self.max_cwnd):
+        # The window check is the `pipe` property inlined: _try_send runs
+        # on every ACK, and the property + min() calls showed up hot.
+        window = self.cwnd
+        if self.max_cwnd < window:
+            window = self.max_cwnd
+        while (self.high_water - self.cum_ack - len(self.sacked)
+               - len(self.lost) + len(self.rtx_out)) < window:
             choice = self._next_to_send()
             if choice is None:
                 break
@@ -253,12 +260,19 @@ class TcpSender:
             if sent is not None and sent >= self._last_rtx_time:
                 rtt_sample = self.sim.now - sent
                 self._rtt_update(rtt_sample)
-            # prune per-seq state below the new cumulative ACK
-            for seq in range(self.cum_ack, pkt.ack_seq):
-                self.sacked.discard(seq)
-                self.lost.discard(seq)
-                self.rtx_out.discard(seq)
-                self._sent_time.pop(seq, None)
+            # prune per-seq state below the new cumulative ACK; in the
+            # loss-free steady state all three scoreboards are empty and
+            # only the send-time map needs clearing
+            sent_time = self._sent_time
+            if self.sacked or self.lost or self.rtx_out:
+                for seq in range(self.cum_ack, pkt.ack_seq):
+                    self.sacked.discard(seq)
+                    self.lost.discard(seq)
+                    self.rtx_out.discard(seq)
+                    sent_time.pop(seq, None)
+            else:
+                for seq in range(self.cum_ack, pkt.ack_seq):
+                    sent_time.pop(seq, None)
             n_newly_acked = pkt.ack_seq - self.cum_ack
             self.cum_ack = pkt.ack_seq
             self.dupacks = 0

@@ -26,46 +26,55 @@ _ATTEMPTS = 3
 
 # ---- stripped copies of the hook-bearing hot-path methods ------------
 def _plain_enqueue(self, pkt, now):
-    self.stats.account(now, len(self._buf))
-    self.stats.arrivals += 1
+    stats = self.stats
+    if now > stats._last_change:
+        stats._q_integral += len(self._buf) * (now - stats._last_change)
+        stats._last_change = now
+    stats.arrivals += 1
     verdict = self.admit(pkt, now)
-    if verdict == "drop" or (verdict != "enqueue" and verdict != "mark"):
-        if verdict not in ("drop", "enqueue", "mark"):
-            raise ValueError(f"bad admit() verdict {verdict!r}")
-        self.stats.drops += 1
+    if verdict == "enqueue":
+        pass
+    elif verdict == "mark":
+        pkt.ce = True
+        stats.marks += 1
+    elif verdict == "drop":
+        stats.drops += 1
         if self.is_full_for(pkt):
-            self.stats.forced_drops += 1
+            stats.forced_drops += 1
         else:
-            self.stats.early_drops += 1
+            stats.early_drops += 1
         for fn in self.drop_listeners:
             fn(pkt, now)
         return False
-    if verdict == "mark":
-        pkt.ce = True
-        self.stats.marks += 1
+    else:
+        raise ValueError(f"bad admit() verdict {verdict!r}")
     pkt.enqueue_time = now
     self._buf.append(pkt)
     self._bytes += pkt.size
-    self.stats.enqueues += 1
-    self.stats.bytes_in += pkt.size
+    stats.enqueues += 1
+    stats.bytes_in += pkt.size
     return True
 
 
 def _plain_dequeue(self, now):
-    if not self._buf:
+    buf = self._buf
+    if not buf:
         return None
-    self.stats.account(now, len(self._buf))
-    pkt = self._buf.popleft()
+    stats = self.stats
+    if now > stats._last_change:
+        stats._q_integral += len(buf) * (now - stats._last_change)
+        stats._last_change = now
+    pkt = buf.popleft()
     self._bytes -= pkt.size
-    self.stats.departures += 1
-    self.stats.bytes_out += pkt.size
+    stats.departures += 1
+    stats.bytes_out += pkt.size
     return pkt
 
 
 def _plain_tx_done(self, pkt):
     self.bytes_transmitted += pkt.size
     self.packets_transmitted += 1
-    self.sim.schedule(self.delay, self.dst.receive, pkt)
+    self.sim.schedule_fire(self.delay, self.dst.receive, pkt)
     self._start_next()
 
 

@@ -9,16 +9,11 @@ from repro.sim.engine import Simulator
 def test_profiler_samples_every_period_th_event():
     prof = SamplingProfiler(period=4)
 
-    class Ev:
-        def __init__(self, fn):
-            self.fn = fn
-            self.args = ()
-
     def work():
         pass
 
     for _ in range(16):
-        prof.dispatch(Ev(work))
+        prof.dispatch(work, ())
     assert prof.events == 16
     assert prof.samples["test_profiler_samples_every_period_th_event.<locals>.work"][0] == 4
 

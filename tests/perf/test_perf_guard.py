@@ -1,0 +1,69 @@
+"""Perf-regression guard: the dumbbell benchmark must stay near baseline.
+
+Compares a fresh run of the ``dumbbell.pert`` microbenchmark (exact
+recorded workload) against the events/s committed in ``BENCH_sim.json``.
+A drop past 30% fails the build — that margin absorbs timer noise and
+scheduler jitter on an otherwise-idle machine while still catching real
+hot-path regressions (which historically cost 2x, not 1.3x).
+
+Escape hatches:
+
+* the test skips when ``BENCH_sim.json`` is absent (fresh clones,
+  pre-benchmark checkouts);
+* ``REPRO_PERF_GUARD=0`` skips it explicitly — shared CI runners are too
+  noisy for wall-clock assertions, so CI sets this and tracks perf via
+  the ``bench-smoke`` job instead.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILE = ROOT / "BENCH_sim.json"
+
+_MIN_RATIO = 0.7
+_ATTEMPTS = 3
+
+
+def _load_baseline():
+    if not BENCH_FILE.exists():
+        pytest.skip("BENCH_sim.json not present; run benchmarks/perf first")
+    data = json.loads(BENCH_FILE.read_text())
+    entry = data["benchmarks"].get("dumbbell.pert")
+    if entry is None:
+        pytest.skip("no dumbbell.pert entry in BENCH_sim.json")
+    return entry
+
+
+def test_dumbbell_events_per_sec_within_30pct_of_baseline():
+    if os.environ.get("REPRO_PERF_GUARD", "1") in ("0", "off", "false"):
+        pytest.skip("disabled via REPRO_PERF_GUARD")
+    entry = _load_baseline()
+    baseline = entry["events_per_sec"]
+    floor = _MIN_RATIO * baseline
+
+    if str(ROOT) not in sys.path:
+        sys.path.insert(0, str(ROOT))
+    from benchmarks.perf import bench_dumbbell
+
+    best = 0.0
+    for _ in range(_ATTEMPTS):
+        result = bench_dumbbell(schemes=("pert",), repeat=1, **entry["params"])
+        best = max(best, result["pert"]["events_per_sec"])
+        if best >= floor:  # early exit once we are clearly fast enough
+            break
+    assert best >= floor, (
+        f"dumbbell.pert regressed: {best:,.0f} ev/s vs baseline "
+        f"{baseline:,.0f} ev/s (floor {floor:,.0f}); if intentional, "
+        f"regenerate BENCH_sim.json via `python -m benchmarks.perf`"
+    )
+
+    # the workload itself must be unchanged: same fixed-seed event count
+    assert result["pert"]["events"] == entry["events"], (
+        "benchmark event count drifted — behavioural change, not merely "
+        "a perf delta; investigate before regenerating the baseline"
+    )

@@ -201,3 +201,45 @@ def test_run_not_reentrant():
     sim.schedule(0.0, inner)
     sim.run()
     assert err == [True]
+
+
+def test_nonfinite_delay_rejected():
+    sim = Simulator()
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(SimulationError):
+            sim.schedule(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_fire(bad, lambda: None)
+
+
+def test_nonfinite_absolute_time_rejected():
+    sim = Simulator()
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(SimulationError):
+            sim.schedule_at(bad, lambda: None)
+
+
+def test_rejected_schedule_corrupts_nothing():
+    # A rejected schedule must not consume a sequence number or leave a
+    # stale heap entry: ordering afterwards is as if it never happened.
+    sim = Simulator()
+    fired = []
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), fired.append, "nan")
+    sim.schedule(1.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "c")
+    sim.run()
+    assert fired == ["b", "c"]
+    assert sim.pending() == 0
+
+
+def test_schedule_fire_interleaves_with_schedule():
+    # schedule_fire shares the sequence space with schedule(): same-time
+    # callbacks fire in schedule order regardless of which API made them.
+    sim = Simulator()
+    order = []
+    sim.schedule(0.5, order.append, 1)
+    sim.schedule_fire(0.5, order.append, 2)
+    sim.schedule(0.5, order.append, 3)
+    sim.run()
+    assert order == [1, 2, 3]
