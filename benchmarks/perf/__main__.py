@@ -31,6 +31,9 @@ def main(argv=None) -> int:
         line = f"{name:24s} {rate:12,.0f} {unit}"
         if "packets_per_sec" in entry:
             line += f"  ({entry['packets_per_sec']:,.0f} pkt/s)"
+        if "fanout_speedup" in entry:
+            line += (f"  ({entry['fanout_speedup']:.2f}x fan-out, "
+                     f"{entry['snapshot_bytes']:,} B snapshot)")
         print(line)
     path = write_results(results, args.out)
     print(f"wrote {path}")

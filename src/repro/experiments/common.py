@@ -13,6 +13,20 @@ paper does — the four headline metrics:
 
 The paper's buffer-sizing rule is applied: buffer = bandwidth-delay
 product, with a floor of twice the number of flows.
+
+The run is phased — resolve parameters, build, warm up, measure — with
+the live objects carried between phases in a :class:`_DumbbellState`.
+That split is what makes runs checkpointable: when the executor installs
+a checkpoint slot (:mod:`repro.snapshot.runtime`), the state object is
+snapshotted together with the simulator at periodic boundaries, and a
+retried attempt resumes from the last checkpoint instead of starting
+over.  Because ``sim.run(until=...)`` chunking is bit-identical to a
+single call, a resumed run produces exactly the result an uninterrupted
+one would (pinned by the resume goldens in ``tests/snapshot``).  The
+same split powers warm-started sweeps: :func:`warm_dumbbell_bytes`
+captures the state right after warm-up and
+:func:`run_dumbbell_warm` measures any number of divergent durations
+from clones of it.
 """
 
 from __future__ import annotations
@@ -20,18 +34,27 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..metrics.fairness import jain_index
 from ..obs import runtime as obs_runtime
 from ..sim.engine import Simulator
 from ..sim.monitors import DropLog, LinkWindow, QueueSampler
 from ..sim.topology import Dumbbell
+from ..snapshot import runtime as snapshot_runtime
+from ..snapshot.core import capture_bytes, restore_bytes
 from ..tcp.base import TcpSender, TcpSink, connect_flow
 from ..traffic.web import start_web_sessions
 from .scenarios import Scheme, get_scheme, scheme_sender_kwargs
 
-__all__ = ["DumbbellResult", "run_dumbbell", "access_delays_for_rtts", "bdp_packets"]
+__all__ = [
+    "DumbbellResult",
+    "run_dumbbell",
+    "warm_dumbbell_bytes",
+    "run_dumbbell_warm",
+    "access_delays_for_rtts",
+    "bdp_packets",
+]
 
 #: generous FIFO for access links and the reverse bottleneck direction
 _ACCESS_BUFFER = 5000
@@ -134,16 +157,70 @@ def run_dumbbell(
         bottleneck queues, link and senders.  ``None`` uses the active
         job observation's collector (if the runner enabled one); pass
         ``False`` to force observability off.  Attachment is passive —
-        results are identical with or without a collector.
+        results are identical with or without a collector.  On a
+        checkpoint resume, the restored run keeps the collector it was
+        built with.
     """
-    spec: Scheme = get_scheme(scheme)
+    params = _resolve_params(
+        scheme=scheme, bandwidth=bandwidth, rtt=rtt, n_fwd=n_fwd, n_rev=n_rev,
+        web_sessions=web_sessions, duration=duration, warmup=warmup, seed=seed,
+        pkt_size=pkt_size, buffer_pkts=buffer_pkts, rtts=rtts,
+        start_window=start_window, record_rtt_flow=record_rtt_flow,
+        queue_sample_interval=queue_sample_interval,
+    )
     if collector is None:
         collector = obs_runtime.active_collector()
     elif collector is False:
         collector = None
+
+    ckpt = snapshot_runtime.active_checkpoint()
+    state = _resume_or_build(params, collector, ckpt)
+    _warm_dumbbell(state, ckpt)
+    _measure_dumbbell(state, ckpt)
+    return _dumbbell_result(state, keep_refs=keep_refs)
+
+
+# ----------------------------------------------------------------------
+# the phased machinery behind run_dumbbell
+# ----------------------------------------------------------------------
+@dataclass
+class _DumbbellState:
+    """Everything a dumbbell run carries between phases.
+
+    This is exactly the harness state a checkpoint captures alongside
+    the simulator: the resolved identifying parameters (so a resumed
+    attempt can refuse a checkpoint written by a different run) plus the
+    live topology, flows, monitors and baselines the measure phase
+    needs.  ``goodput0 is None`` doubles as "the measurement window has
+    not opened yet".
+    """
+
+    params: Dict[str, Any]
+    sim: Simulator
+    db: Dumbbell
+    fwd_flows: List[Tuple[TcpSender, TcpSink]]
+    rev_flows: List[Tuple[TcpSender, TcpSink]]
+    window: LinkWindow
+    drop_log: DropLog
+    sampler: QueueSampler
+    collector: Any = None
+    goodput0: Optional[List[int]] = None
+
+
+def _resolve_params(
+    *, scheme, bandwidth, rtt, n_fwd, n_rev, web_sessions, duration, warmup,
+    seed, pkt_size, buffer_pkts, rtts, start_window, record_rtt_flow,
+    queue_sample_interval,
+) -> Dict[str, Any]:
+    """Validate and resolve the run parameters into their canonical form.
+
+    The resolved dict fully determines the simulation, so it is also the
+    identity a checkpoint resume compares against.
+    """
+    get_scheme(scheme)  # fail fast on unknown names
     if rtts is not None and len(rtts) != n_fwd:
         raise ValueError("rtts must have one entry per forward flow")
-    flow_rtts = rtts if rtts is not None else [rtt] * max(n_fwd, 1)
+    flow_rtts = list(rtts) if rtts is not None else [rtt] * max(n_fwd, 1)
     base_rtt = min(flow_rtts)
     # The paper sizes the buffer to the bandwidth-delay product; with
     # heterogeneous RTTs we use the mean RTT as the representative delay.
@@ -152,16 +229,53 @@ def run_dumbbell(
         buffer_pkts = max(
             bdp_packets(bandwidth, mean_rtt, pkt_size), 2 * max(1, n_fwd), 8
         )
+    if start_window is None:
+        start_window = min(5.0, warmup / 2.0)
+    return dict(
+        scheme=scheme,
+        bandwidth=bandwidth,
+        flow_rtts=flow_rtts,
+        base_rtt=base_rtt,
+        n_fwd=n_fwd,
+        n_rev=n_rev,
+        web_sessions=web_sessions,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        pkt_size=pkt_size,
+        buffer_pkts=buffer_pkts,
+        start_window=start_window,
+        record_rtt_flow=record_rtt_flow,
+        queue_sample_interval=queue_sample_interval,
+    )
+
+
+def _build_dumbbell(params: Dict[str, Any], collector) -> _DumbbellState:
+    """Construct topology, flows, traffic and monitors for *params*.
+
+    The construction order below is load-bearing: components claim RNG
+    streams and event sequence numbers as they are built, so any
+    reordering changes the simulation.  Checkpoint/warm-start correctness
+    relies on this function being a pure function of *params*.
+    """
+    spec: Scheme = get_scheme(params["scheme"])
+    bandwidth = params["bandwidth"]
+    pkt_size = params["pkt_size"]
+    n_fwd, n_rev = params["n_fwd"], params["n_rev"]
+    base_rtt = params["base_rtt"]
+    buffer_pkts = params["buffer_pkts"]
+    start_window = params["start_window"]
+    record_rtt_flow = params["record_rtt_flow"]
+
     n_hosts = max(n_fwd, n_rev, 1) + 1  # +1 pair reserved for web traffic
     bottleneck_delay = base_rtt / 2.0 * 0.5
-    fwd_access = access_delays_for_rtts(flow_rtts, bottleneck_delay)
+    fwd_access = access_delays_for_rtts(params["flow_rtts"], bottleneck_delay)
     # pad access-delay lists up to the host count
     pad = [fwd_access[0] if fwd_access else 1e-3]
     left_delays = (fwd_access + pad * n_hosts)[:n_hosts]
     right_delays = list(left_delays)
 
-    _setup_t0 = time.monotonic()
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=params["seed"])
     sim.profiler = obs_runtime.active_profiler()
     sender_kwargs = scheme_sender_kwargs(spec, bandwidth, pkt_size, n_fwd, base_rtt)
 
@@ -186,7 +300,6 @@ def run_dumbbell(
     )
 
     flow_ids = itertools.count()
-    start_window = start_window if start_window is not None else min(5.0, warmup / 2.0)
     rng = sim.stream("starts")
 
     fwd_flows: List[Tuple[TcpSender, TcpSink]] = []
@@ -208,10 +321,10 @@ def run_dumbbell(
         sender.start(at=rng.uniform(0.0, start_window))
         rev_flows.append((sender, sink))
 
-    if web_sessions > 0:
+    if params["web_sessions"] > 0:
         start_web_sessions(
             sim,
-            web_sessions,
+            params["web_sessions"],
             server=db.left[n_hosts - 1],
             client=db.right[n_hosts - 1],
             flow_ids=flow_ids,
@@ -226,7 +339,7 @@ def run_dumbbell(
     drop_log = DropLog(db.bottleneck_queue)
     sampler = QueueSampler(
         sim, db.bottleneck_queue,
-        interval=queue_sample_interval if record_rtt_flow is None else 0.005,
+        interval=params["queue_sample_interval"] if record_rtt_flow is None else 0.005,
     )
 
     if collector is not None:
@@ -236,57 +349,165 @@ def run_dumbbell(
         for sender, _ in fwd_flows + rev_flows:
             collector.attach_sender(sender)
 
-    _active = obs_runtime.active()
-    if _active is not None:
-        _active.add_phase("setup", time.monotonic() - _setup_t0)
+    return _DumbbellState(
+        params=params, sim=sim, db=db, fwd_flows=fwd_flows, rev_flows=rev_flows,
+        window=window, drop_log=drop_log, sampler=sampler, collector=collector,
+    )
 
-    with obs_runtime.phase("warmup"):
-        sim.run(until=warmup)
-    window.open()
-    goodput0 = [sink.rcv_next for _, sink in fwd_flows]
+
+def _resume_or_build(params, collector, ckpt) -> _DumbbellState:
+    """Restore the checkpoint slot's state, or build fresh.
+
+    A restored state is accepted only if its resolved parameters match
+    this call exactly — the checkpoint file is keyed by spec hash when
+    the runner installs it, but direct callers get the same guarantee.
+    """
+    if ckpt is not None:
+        resumed = ckpt.resume()
+        if resumed is not None:
+            _sim, state = resumed
+            if isinstance(state, _DumbbellState) and state.params == params:
+                state.sim.profiler = obs_runtime.active_profiler()
+                if state.collector is not None:
+                    obs_runtime.adopt_collector(state.collector)
+                return state
+            ckpt.reject()
+    t0 = time.monotonic()
+    state = _build_dumbbell(params, collector)
+    active = obs_runtime.active()
+    if active is not None:
+        active.add_phase("setup", time.monotonic() - t0)
+    return state
+
+
+def _advance(state: _DumbbellState, until: float, ckpt) -> None:
+    """Run the simulation to *until*, checkpointing at interval boundaries.
+
+    Chunked ``run(until=...)`` calls are bit-identical to a single call
+    (the engine's pop-first loop pushes the one horizon-crossing event
+    back), so checkpoint cadence never changes results.  No checkpoint is
+    written at *until* itself — phase ends either lead straight into more
+    simulation or into job completion, where the file is deleted anyway.
+    """
+    sim = state.sim
+    if ckpt is None:
+        sim.run(until=until)
+        return
+    while sim.now < until:
+        target = min(until, sim.now + ckpt.interval)
+        sim.run(until=target)
+        if target < until:
+            ckpt.save(sim, state)
+
+
+def _warm_dumbbell(state: _DumbbellState, ckpt=None) -> None:
+    """Run to the end of warm-up and open the measurement window.
+
+    Idempotent across resumes: a state restored mid-measure (window
+    already open, ``goodput0`` recorded) passes straight through.
+    """
+    warmup = state.params["warmup"]
+    if state.sim.now < warmup:
+        with obs_runtime.phase("warmup"):
+            _advance(state, warmup, ckpt)
+    if state.goodput0 is None:
+        state.window.open()
+        state.goodput0 = [sink.rcv_next for _, sink in state.fwd_flows]
+
+
+def _measure_dumbbell(state: _DumbbellState, ckpt=None) -> None:
+    """Run the steady-state window to ``duration`` and close it."""
     with obs_runtime.phase("measure"):
-        sim.run(until=duration)
-    window.close()
-    if collector is not None:
-        collector.finalize(sim)
+        _advance(state, state.params["duration"], ckpt)
+    state.window.close()
+    if state.collector is not None:
+        state.collector.finalize(state.sim)
 
-    span = duration - warmup
+
+def _dumbbell_result(state: _DumbbellState, keep_refs: bool = False) -> DumbbellResult:
+    """Compute the steady-state metrics from a measured state."""
+    p = state.params
+    span = p["duration"] - p["warmup"]
     goodputs = [
-        (sink.rcv_next - g0) * pkt_size * 8.0 / span
-        for (_, sink), g0 in zip(fwd_flows, goodput0)
+        (sink.rcv_next - g0) * p["pkt_size"] * 8.0 / span
+        for (_, sink), g0 in zip(state.fwd_flows, state.goodput0)
     ]
-    mean_q = sampler.mean(start=warmup, end=duration)
+    mean_q = state.sampler.mean(start=p["warmup"], end=p["duration"])
+    all_senders = [s for s, _ in state.fwd_flows + state.rev_flows]
     result = DumbbellResult(
-        scheme=scheme,
-        bandwidth=bandwidth,
-        rtt=base_rtt,
-        n_fwd=n_fwd,
-        n_rev=n_rev,
-        web_sessions=web_sessions,
-        buffer_pkts=buffer_pkts,
+        scheme=p["scheme"],
+        bandwidth=p["bandwidth"],
+        rtt=p["base_rtt"],
+        n_fwd=p["n_fwd"],
+        n_rev=p["n_rev"],
+        web_sessions=p["web_sessions"],
+        buffer_pkts=p["buffer_pkts"],
         mean_queue_pkts=mean_q,
-        norm_queue=mean_q / buffer_pkts,
-        drop_rate=window.drop_rate,
-        mark_rate=window.mark_rate,
-        utilization=window.utilization,
+        norm_queue=mean_q / p["buffer_pkts"],
+        drop_rate=state.window.drop_rate,
+        mark_rate=state.window.mark_rate,
+        utilization=state.window.utilization,
         jain=jain_index(goodputs) if goodputs else 0.0,
         flow_goodputs_bps=goodputs,
-        early_responses=sum(
-            getattr(s, "early_responses", 0) for s, _ in fwd_flows + rev_flows
-        ),
-        timeouts=sum(s.timeouts for s, _ in fwd_flows + rev_flows),
-        events_processed=sim.events_processed,
+        early_responses=sum(getattr(s, "early_responses", 0) for s in all_senders),
+        timeouts=sum(s.timeouts for s in all_senders),
+        events_processed=state.sim.events_processed,
     )
-    if record_rtt_flow is not None:
-        tagged = fwd_flows[record_rtt_flow][0]
+    if p["record_rtt_flow"] is not None:
+        tagged = state.fwd_flows[p["record_rtt_flow"]][0]
         result.extras["rtt_trace"] = tagged.rtt_trace
         result.extras["flow_losses"] = tagged.loss_events
-        result.extras["queue_drops"] = drop_log.times()
-        result.extras["queue_sampler"] = sampler
-        result.extras["queue_stats"] = db.bottleneck_queue.stats
+        result.extras["queue_drops"] = state.drop_log.times()
+        result.extras["queue_sampler"] = state.sampler
+        result.extras["queue_stats"] = state.db.bottleneck_queue.stats
     if keep_refs:
-        result.extras["sim"] = sim
-        result.extras["dumbbell"] = db
-        result.extras["fwd_flows"] = fwd_flows
-        result.extras["rev_flows"] = rev_flows
+        result.extras["sim"] = state.sim
+        result.extras["dumbbell"] = state.db
+        result.extras["fwd_flows"] = state.fwd_flows
+        result.extras["rev_flows"] = state.rev_flows
     return result
+
+
+# ----------------------------------------------------------------------
+# warm-start: one warm-up, many measured continuations
+# ----------------------------------------------------------------------
+def warm_dumbbell_bytes(scheme: str, bandwidth: float, **kwargs) -> bytes:
+    """Build and warm one dumbbell run; return its snapshot body.
+
+    Accepts the same keyword arguments as :func:`run_dumbbell` (minus
+    ``keep_refs``/``collector``).  The returned bytes capture the run at
+    the instant the measurement window opens; feed them to
+    :func:`run_dumbbell_warm` once per desired ``duration``.  Because
+    construction and warm-up do not depend on ``duration``, every
+    continuation is bit-identical to the corresponding cold run.
+    """
+    kwargs.setdefault("duration", kwargs.get("warmup", 20.0))
+    defaults = dict(
+        rtt=0.060, n_fwd=10, n_rev=0, web_sessions=0, warmup=20.0, seed=1,
+        pkt_size=1000, buffer_pkts=None, rtts=None, start_window=None,
+        record_rtt_flow=None, queue_sample_interval=0.02,
+    )
+    defaults.update(kwargs)
+    params = _resolve_params(scheme=scheme, bandwidth=bandwidth, **defaults)
+    state = _build_dumbbell(params, collector=None)
+    _warm_dumbbell(state)
+    return capture_bytes(state.sim, state)
+
+
+def run_dumbbell_warm(body: bytes, duration: float) -> DumbbellResult:
+    """Measure one continuation of a :func:`warm_dumbbell_bytes` capture.
+
+    Restores an independent clone of the warmed state (the original
+    bytes stay reusable), runs the steady-state window out to *duration*
+    and returns the same :class:`DumbbellResult` a cold
+    :func:`run_dumbbell` with that duration produces.
+    """
+    _sim, state = restore_bytes(body)
+    if not isinstance(state, _DumbbellState):
+        raise TypeError(
+            "run_dumbbell_warm needs bytes from warm_dumbbell_bytes, got "
+            f"state of type {type(state).__name__}"
+        )
+    state.params = dict(state.params, duration=float(duration))
+    _measure_dumbbell(state)
+    return _dumbbell_result(state)

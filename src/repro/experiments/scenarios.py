@@ -219,8 +219,17 @@ class ScenarioSpec:
         timeout: Optional[float] = None,
         retries: int = 1,
         progress=None,
+        warm_start: bool = False,
+        checkpoint: Optional[float] = None,
     ) -> List[Dict]:
-        """Run every scheme at every point; returns flattened table rows."""
+        """Run every scheme at every point; returns flattened table rows.
+
+        ``warm_start=True`` shares one simulated warm-up per scheme
+        across all points — valid only when the points differ solely in
+        ``duration`` (see :func:`repro.experiments.sweep.sweep_dumbbell`).
+        ``checkpoint`` enables periodic crash-resume checkpoints in the
+        runner's workers (simulated seconds between saves).
+        """
         from .sweep import sweep_dumbbell  # local: avoids an import cycle
         return sweep_dumbbell(
             [dict(p.overrides) for p in self.points],
@@ -231,5 +240,7 @@ class ScenarioSpec:
             timeout=timeout,
             retries=retries,
             progress=progress,
+            warm_start=warm_start,
+            checkpoint=checkpoint,
             **self.base,
         )

@@ -14,10 +14,13 @@ identical whether executed with ``workers=0`` (serial debug path),
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+import time
+from dataclasses import fields as dataclass_fields
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..runner import dumbbell_spec, run_jobs
-from .common import DumbbellResult
+from ..runner.cache import resolve_cache
+from .common import DumbbellResult, run_dumbbell_warm, warm_dumbbell_bytes
 
 __all__ = ["SECTION4_SCHEMES", "sweep_dumbbell", "result_row", "failed_row"]
 
@@ -77,6 +80,8 @@ def sweep_dumbbell(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress=None,
+    warm_start: bool = False,
+    checkpoint: Optional[float] = None,
     **base_kwargs,
 ) -> List[Dict]:
     """Run every scheme at every sweep point.
@@ -95,12 +100,24 @@ def sweep_dumbbell(
     ``timeout``/``retries`` the per-job failure policy.  A job that still
     fails after its retries yields a NaN-metric row flagged
     ``failed=True`` instead of aborting the sweep.
+
+    ``warm_start=True`` simulates each scheme's warm-up transient once
+    and measures every sweep point from an independent clone of that
+    warmed state (see :mod:`repro.snapshot`).  Valid only for sweeps
+    whose points share an identical prefix — each point may override
+    only ``duration``.  Rows are exactly the rows the cold path
+    produces (bit-identical continuations), and they are written into
+    the same cache entries, so warm and cold sweeps interoperate.
+    ``checkpoint`` is forwarded to :func:`repro.runner.run_jobs` for
+    crash-resumable cold jobs; warm-start runs in-process and ignores it.
     """
     if tags is None:
         tags = list(points)
     elif len(tags) != len(points):
         raise ValueError("tags must have one entry per point")
     schemes = tuple(schemes)
+    if warm_start:
+        return _sweep_warm_start(points, schemes, tags, cache, base_kwargs)
     specs, job_tags = [], []
     for point, tag in zip(points, tags):
         for scheme in schemes:
@@ -115,6 +132,7 @@ def sweep_dumbbell(
         timeout=timeout,
         retries=retries,
         progress=progress,
+        checkpoint=checkpoint,
     )
     rows: List[Dict] = []
     for res, (scheme, tag) in zip(results, job_tags):
@@ -123,3 +141,80 @@ def sweep_dumbbell(
         else:
             rows.append(failed_row(scheme, tag, res.error))
     return rows
+
+
+def _payload_of(result: DumbbellResult) -> Dict:
+    """Flatten a result exactly like the runner's ``dumbbell`` job kind,
+    so warm-started cache entries are indistinguishable from cold ones."""
+    return {
+        f.name: getattr(result, f.name)
+        for f in dataclass_fields(DumbbellResult)
+        if f.name != "extras"
+    }
+
+
+def _sweep_warm_start(
+    points: Sequence[Dict],
+    schemes: Tuple[str, ...],
+    tags: Sequence[Dict],
+    cache,
+    base_kwargs: Dict,
+) -> List[Dict]:
+    """Warm-started expansion: per scheme, warm once, fork per duration.
+
+    The warm-up prefix (topology, traffic, seeds, warm-up horizon) must
+    be identical across points for the shared warm state to be valid, so
+    per-point overrides are restricted to ``duration``.  Cache hits are
+    honoured point by point; only missed points cost a measurement, and
+    a scheme with no missed points never warms up at all.
+    """
+    for point in points:
+        extra = set(point) - {"duration"}
+        if extra:
+            raise ValueError(
+                "warm_start sweeps share one warm-up per scheme, so points "
+                f"may override only 'duration'; got {sorted(extra)}"
+            )
+    store = resolve_cache(cache)
+    rows_by: Dict[Tuple[int, str], Dict] = {}
+    misses: Dict[str, List[Tuple[int, Dict, object]]] = {}
+    for pi, (point, tag) in enumerate(zip(points, tags)):
+        for scheme in schemes:
+            kwargs = dict(base_kwargs)
+            kwargs.update(point)
+            spec = dumbbell_spec(scheme, **kwargs)
+            entry = store.get(spec) if store is not None else None
+            if entry is not None:
+                rows_by[(pi, scheme)] = result_row(entry["payload"], tag)
+            else:
+                misses.setdefault(scheme, []).append((pi, kwargs, spec))
+
+    for scheme, items in misses.items():
+        warm_kwargs = {k: v for k, v in base_kwargs.items() if k != "duration"}
+        try:
+            body = warm_dumbbell_bytes(scheme, **warm_kwargs)
+        except Exception as exc:  # noqa: BLE001 - keep the sweep alive
+            error = f"{type(exc).__name__}: {exc}"
+            for pi, _kwargs, _spec in items:
+                rows_by[(pi, scheme)] = failed_row(scheme, tags[pi], error)
+            continue
+        for pi, kwargs, spec in items:
+            t0 = time.monotonic()
+            try:
+                result = run_dumbbell_warm(body, kwargs.get("duration", 60.0))
+            except Exception as exc:  # noqa: BLE001
+                rows_by[(pi, scheme)] = failed_row(
+                    scheme, tags[pi], f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            payload = _payload_of(result)
+            if store is not None:
+                store.put(spec, payload, meta={
+                    "events": result.events_processed,
+                    "wall_time": time.monotonic() - t0,
+                    "attempts": 1,
+                    "warm_start": True,
+                })
+            rows_by[(pi, scheme)] = result_row(result, tags[pi])
+
+    return [rows_by[(pi, scheme)] for pi in range(len(points)) for scheme in schemes]

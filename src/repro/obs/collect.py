@@ -259,3 +259,27 @@ class Collector:
     def snapshot(self) -> dict:
         """Metrics snapshot (delegates to the registry)."""
         return self.registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # snapshot (checkpoint) support
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """The instrument maps are keyed by ``id(component)``, which is
+        meaningless in a restored process — pickle the instruments as
+        lists (each holds a reference to its component, and the pickle
+        memo keeps those identical to the components inside the restored
+        simulator graph) and re-key on the way back in."""
+        state = self.__dict__.copy()
+        state["_queues"] = list(self._queues.values())
+        state["_senders"] = list(self._senders.values())
+        state["_links"] = list(self._links.values())
+        return state
+
+    def __setstate__(self, state):
+        queues = state.pop("_queues")
+        senders = state.pop("_senders")
+        links = state.pop("_links")
+        self.__dict__.update(state)
+        self._queues = {id(qi.qdisc): qi for qi in queues}
+        self._senders = {id(si.sender): si for si in senders}
+        self._links = {id(li.link): li for li in links}

@@ -27,6 +27,7 @@ Schema v1 fields:
 ``metrics``         metrics-registry snapshot (with ``--obs``)
 ``profile``         sampling-profiler summary (with ``REPRO_PROFILE``)
 ``trace_file``      basename of the sibling JSONL trace (with --trace)
+``checkpoint``      checkpoint lineage (interval, saves, resume facts)
 ==================  ===================================================
 """
 
@@ -93,7 +94,7 @@ def build_manifest(
     if result is not None:
         manifest["result"] = result
     if obs_meta:
-        for field in ("phases", "peak_rss_kb", "metrics", "profile"):
+        for field in ("phases", "peak_rss_kb", "metrics", "profile", "checkpoint"):
             if obs_meta.get(field) is not None:
                 manifest[field] = obs_meta[field]
     if trace_file is not None:

@@ -35,6 +35,7 @@ __all__ = [
     "active",
     "active_collector",
     "active_profiler",
+    "adopt_collector",
     "phase",
     "resolve_obs_flags",
 ]
@@ -144,6 +145,22 @@ def active_collector() -> Optional[Collector]:
 
 def active_profiler() -> Optional[SamplingProfiler]:
     return _ACTIVE.profiler if _ACTIVE is not None else None
+
+
+def adopt_collector(collector: Optional[Collector]) -> bool:
+    """Swap a restored collector into the active observation.
+
+    When a job resumes from a checkpoint, the collector rides along
+    inside the snapshot (it is attached to queues/senders/links in the
+    simulator graph).  The fresh :class:`JobObservation` made for the
+    retry attempt must report *that* collector's metrics, not the empty
+    one it constructed — the executor calls this after a successful
+    resume.  Returns ``True`` if an adoption happened.
+    """
+    if _ACTIVE is None or collector is None:
+        return False
+    _ACTIVE.collector = collector
+    return True
 
 
 @contextmanager

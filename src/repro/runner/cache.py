@@ -24,9 +24,17 @@ from typing import Any, Dict, Optional, Union
 from ..obs.manifest import MANIFEST_SUFFIX, TRACE_SUFFIX
 from .spec import JobSpec
 
-__all__ = ["ResultCache", "default_cache_dir", "resolve_cache"]
+__all__ = [
+    "CHECKPOINT_SUFFIX",
+    "ResultCache",
+    "default_cache_dir",
+    "resolve_cache",
+]
 
 _DISABLE_VALUES = {"0", "off", "false", "no"}
+
+#: checkpoint filename suffix (sibling of the cache entry)
+CHECKPOINT_SUFFIX = ".ckpt"
 
 
 def default_cache_dir() -> Path:
@@ -56,6 +64,17 @@ class ResultCache:
         """Sibling JSONL trace path for *spec* (written with ``--trace``)."""
         key = spec.cache_key
         return self.root / key[:2] / f"{key}{TRACE_SUFFIX}"
+
+    def checkpoint_path_for(self, spec: JobSpec) -> Path:
+        """Sibling checkpoint path for *spec* (see :mod:`repro.snapshot`).
+
+        The checkpoint shares the cache entry's key on purpose: a resumed
+        run is bit-identical to a straight-through one, so the checkpoint
+        is an implementation detail of producing the *same* cache entry,
+        and it survives retries of the same spec only.
+        """
+        key = spec.cache_key
+        return self.root / key[:2] / f"{key}{CHECKPOINT_SUFFIX}"
 
     def get(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
         """Return the stored entry dict for *spec*, or ``None`` on a miss.

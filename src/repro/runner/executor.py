@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..obs.manifest import build_manifest, write_manifest
 from ..obs.runtime import observe_job
 from ..obs.trace import write_trace
+from ..snapshot.runtime import checkpoint_scope, resolve_checkpoint_interval
 from .cache import ResultCache, resolve_cache
 from .registry import resolve_job
 from .spec import JobSpec
@@ -80,7 +81,7 @@ def _events_of(payload: Any) -> int:
     return 0
 
 
-def _child_main(kind: str, params: dict, conn) -> None:
+def _child_main(kind: str, params: dict, conn, ckpt_path=None, ckpt_interval=None) -> None:
     """Worker-process entry point: run one job, ship one message back.
 
     The job runs inside an :func:`observe_job` context so phase timings,
@@ -88,11 +89,23 @@ def _child_main(kind: str, params: dict, conn) -> None:
     trace records ride back to the parent alongside the payload; the
     payload itself stays untouched, so cached results are byte-identical
     with observability on or off.
+
+    When checkpointing is enabled a :func:`checkpoint_scope` wraps the
+    job as well: a checkpoint-aware job resumes from *ckpt_path* if a
+    previous attempt left one (crash/timeout recovery) and saves
+    periodically.  On success the checkpoint file is deleted and its
+    lineage summary rides back in the observation under ``checkpoint``.
     """
     try:
-        with observe_job() as obs:
+        with observe_job() as obs, checkpoint_scope(ckpt_path, ckpt_interval) as slot:
             payload = resolve_job(kind)(dict(params))
-        conn.send(("ok", payload, obs.finish()))
+        obs_meta = obs.finish()
+        if slot is not None:
+            lineage = slot.summary()
+            if lineage is not None:
+                obs_meta["checkpoint"] = lineage
+            slot.discard()
+        conn.send(("ok", payload, obs_meta))
     except BaseException as exc:  # noqa: BLE001 - isolate *any* job failure
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}", None))
@@ -132,6 +145,7 @@ def run_jobs(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress=None,
+    checkpoint: Optional[float] = None,
 ) -> List[JobResult]:
     """Execute *specs*, returning one :class:`JobResult` per spec, in order.
 
@@ -152,10 +166,19 @@ def run_jobs(
     progress:
         Callable invoked with the live :class:`RunnerStats` after each
         job settles; ``None`` defers to ``$REPRO_PROGRESS``.
+    checkpoint:
+        Simulated seconds between periodic checkpoints of checkpoint-aware
+        jobs (see :mod:`repro.snapshot`); ``None`` defers to
+        ``$REPRO_CHECKPOINT`` (default off).  A killed, crashed or
+        timed-out attempt resumes from the last checkpoint instead of
+        starting over — bit-identically, so specs and cache keys are
+        unaffected.  Requires an enabled cache (the checkpoint lives next
+        to the job's cache entry); silently off otherwise.
     """
     specs = list(specs)
     n_workers = resolve_workers(workers)
     store: Optional[ResultCache] = resolve_cache(cache)
+    ckpt_interval = resolve_checkpoint_interval(checkpoint) if store is not None else None
     hook = resolve_progress(progress)
     stats = RunnerStats(total=len(specs))
     results: List[Optional[JobResult]] = [None] * len(specs)
@@ -204,12 +227,20 @@ def run_jobs(
             spec, "ok", value=payload, attempts=attempt, wall_time=wall, meta=meta,
         ))
 
+    def ckpt_path_of(spec: JobSpec):
+        if ckpt_interval is None or store is None:
+            return None
+        return store.checkpoint_path_for(spec)
+
     if n_workers == 0:
-        _run_serial(specs, misses, retries, stats, record_success, settle)
+        _run_serial(
+            specs, misses, retries, stats, record_success, settle,
+            ckpt_path_of, ckpt_interval,
+        )
     else:
         _run_parallel(
             specs, misses, n_workers, timeout, retries, stats,
-            record_success, settle,
+            record_success, settle, ckpt_path_of, ckpt_interval,
         )
     return [r for r in results if r is not None]
 
@@ -247,7 +278,10 @@ def _write_observation(store, spec, meta, payload, obs_meta) -> None:
 # ----------------------------------------------------------------------
 # serial fallback
 # ----------------------------------------------------------------------
-def _run_serial(specs, misses, retries, stats, record_success, settle) -> None:
+def _run_serial(
+    specs, misses, retries, stats, record_success, settle,
+    ckpt_path_of, ckpt_interval,
+) -> None:
     for index in misses:
         spec = specs[index]
         error = None
@@ -256,13 +290,21 @@ def _run_serial(specs, misses, retries, stats, record_success, settle) -> None:
                 stats.retries += 1
             t0 = time.monotonic()
             try:
-                with observe_job() as obs:
+                with observe_job() as obs, checkpoint_scope(
+                    ckpt_path_of(spec), ckpt_interval
+                ) as slot:
                     payload = resolve_job(spec.kind)(dict(spec.params))
             except Exception as exc:  # noqa: BLE001 - keep the sweep alive
                 error = f"{type(exc).__name__}: {exc}"
                 continue
+            obs_meta = obs.finish()
+            if slot is not None:
+                lineage = slot.summary()
+                if lineage is not None:
+                    obs_meta["checkpoint"] = lineage
+                slot.discard()
             record_success(
-                index, payload, attempt, time.monotonic() - t0, obs.finish(),
+                index, payload, attempt, time.monotonic() - t0, obs_meta,
             )
             break
         else:
@@ -275,7 +317,8 @@ def _run_serial(specs, misses, retries, stats, record_success, settle) -> None:
 # process fan-out
 # ----------------------------------------------------------------------
 def _run_parallel(
-    specs, misses, n_workers, timeout, retries, stats, record_success, settle
+    specs, misses, n_workers, timeout, retries, stats, record_success, settle,
+    ckpt_path_of, ckpt_interval,
 ) -> None:
     ctx = _mp_context()
     queue: List[tuple] = [(i, 1) for i in misses]  # (spec index, attempt no.)
@@ -287,7 +330,10 @@ def _run_parallel(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_child_main,
-            args=(spec.kind, spec.params, child_conn),
+            args=(
+                spec.kind, spec.params, child_conn,
+                ckpt_path_of(spec), ckpt_interval,
+            ),
             daemon=True,
         )
         proc.start()

@@ -114,6 +114,7 @@ class Simulator:
         "events_processed",
         "_stream_labels",
         "_stream_counts",
+        "_streams",
         "profiler",
     )
 
@@ -127,6 +128,7 @@ class Simulator:
         self.events_processed = 0
         self._stream_labels: Set[str] = set()
         self._stream_counts: Dict[str, int] = {}
+        self._streams: Dict[str, random.Random] = {}
         #: optional :class:`repro.obs.SamplingProfiler`; when set, event
         #: dispatch routes through it (results are unaffected — it times
         #: callbacks, nothing more)
@@ -155,7 +157,11 @@ class Simulator:
                 f"label or stream(..., unique=True) for per-instance streams"
             )
         self._stream_labels.add(label)
-        return random.Random(f"{self.seed}/{label}")
+        rng = random.Random(f"{self.seed}/{label}")
+        # Registered so snapshot forking can reseed every handed-out
+        # stream in place (holders keep references to these objects).
+        self._streams[label] = rng
+        return rng
 
     def _unique_label(self, prefix: str) -> str:
         """Deterministically suffix *prefix* so it has never been claimed."""
@@ -286,6 +292,57 @@ class Simulator:
     def pending(self) -> int:
         """Number of live (non-cancelled, not-yet-fired) events — O(1)."""
         return self._live
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle every slot except live, non-serializable handles.
+
+        ``__slots__`` means default pickling would already enumerate the
+        slots, but two of them must not ride along: ``_running`` (a
+        snapshot taken from inside a callback would restore into a
+        simulator that refuses to run) and ``profiler`` (a wall-clock
+        observer holding process-local state).  Checkpointing mid-``run``
+        or with a profiler attached fails fast with a clear error instead
+        of producing a snapshot that lies.
+
+        Cancelled-but-unpopped heap entries are purged from the pickled
+        copy (the live heap is untouched): lazy cancellation means a
+        popped cancelled entry is skipped without side effects, so the
+        purge cannot change the continuation — and it keeps a cancelled
+        entry's possibly-unpicklable callback from blocking the snapshot.
+        Pop order depends only on the ``(time, seq)`` key multiset, so
+        re-heapifying the filtered list is exact.
+        """
+        from ..snapshot.errors import SnapshotError
+
+        if self._running:
+            raise SnapshotError(
+                "cannot snapshot a Simulator from inside run(); checkpoint "
+                "between run(until=...) chunks instead"
+            )
+        if self.profiler is not None:
+            raise SnapshotError(
+                "cannot snapshot: a profiler is attached to the simulator; "
+                "detach it (sim.profiler = None) around the snapshot"
+            )
+        state = {
+            slot: getattr(self, slot)
+            for slot in Simulator.__slots__
+            if slot not in ("_running", "profiler")
+        }
+        live = [e for e in self._heap if e[4] is None or not e[4].cancelled]
+        if len(live) != len(self._heap):
+            heapq.heapify(live)
+            state["_heap"] = live
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._running = False
+        self.profiler = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now:.6f} pending={self._live}>"

@@ -116,6 +116,25 @@ class Link:
         self._start_next()
 
     # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Walk ``__slots__`` across the MRO so subclasses (e.g.
+        :class:`~repro.sim.jitter.JitterLink`) round-trip their extra
+        slots without defining their own hooks.  Everything a link holds
+        — counters, qdisc, the serialization memo, an attached collector
+        — is state worth keeping; nothing is process-local."""
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    # ------------------------------------------------------------------
     def utilization(self, duration: float, since_bytes: int = 0) -> float:
         """Fraction of capacity used over *duration* seconds.
 

@@ -1,0 +1,139 @@
+"""Checkpoint tooling CLI.
+
+    PYTHONPATH=src python -m repro.snapshot inspect  FILE [--json]
+    PYTHONPATH=src python -m repro.snapshot verify   FILE [--json]
+    PYTHONPATH=src python -m repro.snapshot diff     FILE_A FILE_B
+
+``inspect`` reads only the plain-text header (works even when the body
+no longer unpickles); ``verify`` additionally checksums and restores the
+body and checks engine invariants; ``diff`` compares two checkpoints'
+headers and restored simulator summaries (exit code 1 when they differ,
+like ``diff(1)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+from . import core
+from .errors import SnapshotError
+
+_SUMMARY_FIELDS = ("now", "events_processed", "pending", "heap_len", "seq", "seed")
+
+
+def _print_header(header: Dict[str, Any]) -> None:
+    sim = header.get("sim") or {}
+    print(f"id:             {header.get('id')}")
+    print(f"parent:         {header.get('parent')}")
+    if "fork_salt" in header:
+        print(f"fork salt:      {header['fork_salt']}")
+    if "label" in header:
+        print(f"label:          {header['label']}")
+    print(f"format:         {header.get('format')}")
+    print(f"repro version:  {header.get('repro_version')} "
+          f"(python {header.get('python')})")
+    print(f"body:           {header.get('body_bytes'):,} bytes  "
+          f"sha256 {str(header.get('body_sha256'))[:16]}…")
+    if sim:
+        print(f"sim time:       {sim.get('now')}")
+        print(f"events:         {sim.get('events_processed'):,} processed, "
+              f"{sim.get('pending'):,} pending "
+              f"({sim.get('heap_len'):,} heap entries)")
+        print(f"seed:           {sim.get('seed')}")
+        streams = sim.get("streams") or []
+        shown = ", ".join(streams[:8]) + (" …" if len(streams) > 8 else "")
+        print(f"rng streams:    {len(streams)} ({shown})")
+    if header.get("meta"):
+        print(f"meta:           {json.dumps(header['meta'], sort_keys=True)}")
+
+
+def cmd_inspect(args) -> int:
+    header = core.inspect(args.file)
+    if args.json:
+        print(json.dumps(header, indent=2, sort_keys=True))
+    else:
+        _print_header(header)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    header = core.verify(args.file)
+    if args.json:
+        print(json.dumps(header, indent=2, sort_keys=True))
+    else:
+        _print_header(header)
+        print(f"verified:       ok (body restored, invariants hold)")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    def facts(path: str) -> Dict[str, Any]:
+        header = core.inspect(path)
+        sim = dict(header.get("sim") or {})
+        out = {f: sim.get(f) for f in _SUMMARY_FIELDS}
+        out["id"] = header.get("id")
+        out["parent"] = header.get("parent")
+        out["repro_version"] = header.get("repro_version")
+        out["body_bytes"] = header.get("body_bytes")
+        out["streams"] = sim.get("streams") or []
+        return out
+
+    a, b = facts(args.file_a), facts(args.file_b)
+    differ = False
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if key == "streams":
+            only_a = sorted(set(va) - set(vb))
+            only_b = sorted(set(vb) - set(va))
+            if only_a or only_b:
+                differ = True
+                if only_a:
+                    print(f"streams only in {args.file_a}: {', '.join(only_a)}")
+                if only_b:
+                    print(f"streams only in {args.file_b}: {', '.join(only_b)}")
+            continue
+        if va != vb:
+            differ = True
+            print(f"{key}: {va} != {vb}")
+    if not differ:
+        print("snapshots match (header summaries are identical)")
+    return 1 if differ else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro.snapshot",
+        description="Inspect, verify and diff simulation checkpoints",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("inspect", help="print a checkpoint's header")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true", help="raw JSON header")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser(
+        "verify", help="checksum + restore + engine-invariant check"
+    )
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true", help="raw JSON output")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("diff", help="compare two checkpoints' summaries")
+    p.add_argument("file_a")
+    p.add_argument("file_b")
+    p.set_defaults(fn=cmd_diff)
+
+    args = ap.parse_args(argv)
+    try:
+        return args.fn(args)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

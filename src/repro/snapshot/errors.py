@@ -1,0 +1,22 @@
+"""Snapshot error type, kept dependency-free.
+
+This module deliberately imports nothing from the rest of the package so
+that low-level components (``repro.sim.engine``, ``repro.obs.trace``)
+can raise :class:`SnapshotError` from their ``__getstate__`` hooks via a
+function-local import without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SnapshotError"]
+
+
+class SnapshotError(RuntimeError):
+    """A simulation state could not be checkpointed, restored, or verified.
+
+    Raised instead of a bare pickling ``TypeError`` so the message can
+    name the offending attachment (an attached profiler, an open trace
+    writer, a closure scheduled on the event heap) and say how to detach
+    it — the difference between a five-second fix and an afternoon in a
+    pickle traceback.
+    """

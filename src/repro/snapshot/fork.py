@@ -1,0 +1,102 @@
+"""Forking: one warm checkpoint, N divergent continuations.
+
+The expensive part of every long-horizon experiment is the warm-up
+transient; a fork re-uses it.  Restoring the same snapshot body twice
+yields two *independent* object graphs in identical states — continuing
+either is bit-identical to continuing the original run.  Divergence is
+then injected deliberately:
+
+* ``salt=None`` — a pure clone.  Used by warm-started sweeps, where each
+  grid point must reproduce its cold-run result exactly.
+* ``salt="a"`` / ``salt=3`` — every derived RNG stream is deterministically
+  reseeded as a function of (master seed, stream label, salt), and the
+  master seed is salted so streams derived *after* the fork diverge too.
+  Same salt ⇒ same continuation, different salts ⇒ independent ones —
+  the Fig. 12-style perturbation shape (N futures of one warmed system).
+
+Reseeding is in-place: components hold references to the same
+:class:`random.Random` objects the simulator handed out, so reseeding
+the registered stream objects re-randomizes every holder at once.
+Fully deterministic senders (e.g. plain SACK over DropTail) draw no
+randomness after warm-up; forks of such a system only diverge if the
+caller also perturbs it through ``mutate`` (add flows, change a queue
+parameter, ...), which runs after reseeding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
+
+from ..sim.engine import Simulator
+from .core import Restored, read_snapshot, restore_bytes
+from .errors import SnapshotError
+
+__all__ = ["reseed_streams", "fork_bytes", "fork"]
+
+
+def reseed_streams(sim: Simulator, salt: Union[str, int]) -> List[str]:
+    """Deterministically reseed every derived RNG stream of *sim*.
+
+    Each registered stream ``label`` is reseeded with
+    ``"{seed}/{label}@fork/{salt}"`` — a pure function of the master
+    seed, the label, and the salt, so forks are themselves reproducible.
+    The master seed is then salted the same way, making streams derived
+    after the fork (late-starting flows, new queues) diverge as well.
+    Returns the labels reseeded, in sorted order.
+    """
+    base = sim.seed
+    labels = sorted(sim._streams)
+    for label in labels:
+        sim._streams[label].seed(f"{base}/{label}@fork/{salt}")
+    sim.seed = f"{base}@fork/{salt}"
+    return labels
+
+
+def fork_bytes(
+    body: bytes,
+    salt: Optional[Union[str, int]] = None,
+    *,
+    mutate: Optional[Callable[[Simulator, Any], None]] = None,
+) -> Tuple[Simulator, Any]:
+    """One independent continuation of a captured snapshot body.
+
+    ``salt=None`` returns a bit-identical clone; otherwise the clone's
+    RNG streams are reseeded per :func:`reseed_streams`.  *mutate*, if
+    given, runs last with ``(sim, state)`` — the hook for structural
+    perturbations (start extra flows, retune a controller).
+    """
+    sim, state = restore_bytes(body)
+    if salt is not None:
+        reseed_streams(sim, salt)
+    if mutate is not None:
+        mutate(sim, state)
+    return sim, state
+
+
+def fork(
+    path: Union[str, Path],
+    salts: Iterable[Optional[Union[str, int]]],
+    *,
+    mutate: Optional[Callable[[Simulator, Any], None]] = None,
+    verify_checksum: bool = True,
+) -> List[Restored]:
+    """Fork a snapshot file into one continuation per salt.
+
+    The body is read (and checksummed) once; each salt gets its own
+    restored object graph.  Duplicate non-``None`` salts are rejected —
+    they would silently produce identical "independent" continuations.
+    """
+    salts = list(salts)
+    real = [s for s in salts if s is not None]
+    if len(set(map(str, real))) != len(real):
+        raise SnapshotError(f"duplicate fork salts: {salts!r}")
+    header, body = read_snapshot(path, verify=verify_checksum)
+    out: List[Restored] = []
+    for salt in salts:
+        sim, state = fork_bytes(body, salt, mutate=mutate)
+        child_header = dict(header)
+        child_header["parent"] = header.get("id")
+        child_header["fork_salt"] = None if salt is None else str(salt)
+        out.append(Restored(sim=sim, state=state, header=child_header))
+    return out

@@ -149,15 +149,16 @@ class TcpSender:
     def start(self, at: Optional[float] = None, npackets: Optional[int] = None) -> None:
         """Begin transmitting: *npackets* total, or forever if ``None``."""
         self.app_limit = npackets
-
-        def _go() -> None:
-            self.started = True
-            self._try_send()
-
+        # Scheduled as a bound method, not a local closure: pending
+        # callbacks must survive snapshot/restore (see repro.snapshot).
         if at is None or at <= self.sim.now:
-            self.sim.schedule(0.0, _go)
+            self.sim.schedule(0.0, self._begin)
         else:
-            self.sim.schedule_at(at, _go)
+            self.sim.schedule_at(at, self._begin)
+
+    def _begin(self) -> None:
+        self.started = True
+        self._try_send()
 
     def stop(self) -> None:
         """Cease sending new data (in-flight packets still drain)."""

@@ -16,6 +16,7 @@ queues — and loss/marking — with the long-lived flows.
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Iterator, List, Optional, Type
 
@@ -132,17 +133,19 @@ class WebSession:
             **self.sender_kwargs,
         )
         started_at = self.sim.now
-
-        def finished(_s: TcpSender, sender=sender, sink=sink, fid=fid) -> None:
-            self.objects_fetched += 1
-            self.object_latencies.append(self.sim.now - started_at)
-            # Tear down endpoints so node tables don't grow without bound.
-            self.server.unregister_endpoint(fid)
-            self.client.unregister_endpoint(fid)
-            self._fetch_next_object()
-
-        sender.on_complete = finished
+        # A partial of a bound method, not a local closure: the completion
+        # callback lives on the sender across snapshot/restore and
+        # closures cannot be pickled.
+        sender.on_complete = functools.partial(self._object_done, started_at, fid)
         sender.start(npackets=npkts)
+
+    def _object_done(self, started_at: float, fid: int, _sender: TcpSender) -> None:
+        self.objects_fetched += 1
+        self.object_latencies.append(self.sim.now - started_at)
+        # Tear down endpoints so node tables don't grow without bound.
+        self.server.unregister_endpoint(fid)
+        self.client.unregister_endpoint(fid)
+        self._fetch_next_object()
 
 
 def start_web_sessions(

@@ -243,3 +243,38 @@ def test_schedule_fire_interleaves_with_schedule():
     sim.schedule(0.5, order.append, 3)
     sim.run()
     assert order == [1, 2, 3]
+
+
+def test_cancelled_events_survive_pickle_roundtrip():
+    # Regression for snapshot support: cancelled-but-unpopped heap entries
+    # must neither fire after a restore nor drift the pending() counter.
+    # (Capture purges them; this pins the observable contract either way.)
+    import pickle
+
+    sim = Simulator(seed=3)
+    rng = sim.stream("ticks")
+    keep = sim.schedule(1.0, rng.random)
+    dead = sim.schedule(2.0, rng.random)
+    late = sim.schedule(3.0, rng.random)
+    dead.cancel()
+    assert sim.pending() == 2
+
+    blob = pickle.dumps({"sim": sim, "late": late})
+    restored = pickle.loads(blob)
+    sim2, late2 = restored["sim"], restored["late"]
+    assert sim2.pending() == 2
+    assert keep is not None
+
+    # an external handle pickled alongside the sim still controls the
+    # restored heap entry (pickle memo keeps them the same object)
+    late2.cancel()
+    assert sim2.pending() == 1
+    sim2.run()
+    assert sim2.events_processed == 1  # only `keep` fired; no double-fire
+    assert sim2.pending() == 0
+    assert sim2.now == 1.0
+
+    # the original simulator is untouched by the capture
+    sim.run()
+    assert sim.events_processed == 2
+    assert sim.pending() == 0

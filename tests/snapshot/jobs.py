@@ -1,0 +1,55 @@
+"""Checkpoint-aware job functions for executor crash-resume tests.
+
+Referenced by dotted-path kind (``"tests.snapshot.jobs:crashy_dumbbell"``)
+so both the in-process serial path and forked worker processes resolve
+the same code, mirroring ``tests.runner.jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import run_dumbbell
+from repro.snapshot import runtime
+
+
+class _DyingSlot(runtime.CheckpointSlot):
+    """Raise right *after* the Nth periodic save lands on disk —
+    a crash between checkpoints, as the resume machinery must assume."""
+
+    def __init__(self, slot, die_after):
+        super().__init__(slot.path, slot.interval)
+        self.die_after = die_after
+
+    def save(self, sim, state=None):
+        info = super().save(sim, state)
+        if self.saves >= self.die_after:
+            raise RuntimeError(f"simulated crash after save #{self.saves}")
+        return info
+
+
+def crashy_dumbbell(params: dict) -> dict:
+    """A dumbbell job whose first attempt dies mid-measure.
+
+    The first attempt (no marker file yet) swaps the executor-installed
+    checkpoint slot for a dying one; the retry runs normally and reports
+    whether it resumed.  With checkpointing off (no slot) the job just
+    runs clean on the first attempt.
+    """
+    params = dict(params)
+    marker = params.pop("marker")
+    die_after = int(params.pop("die_after", 2))
+    slot = runtime.active_checkpoint()
+    if slot is not None and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        slot = runtime._ACTIVE = _DyingSlot(slot, die_after)
+    result = run_dumbbell(**params)
+    return {
+        "resumed": bool(slot is not None and slot.resumed),
+        "resumed_at": None if slot is None else slot.resumed_at,
+        "events_processed": result.events_processed,
+        "mean_queue_pkts": result.mean_queue_pkts,
+        "utilization": result.utilization,
+        "jain": result.jain,
+    }

@@ -1,0 +1,94 @@
+"""Runner integration: periodic checkpoints, crash resume, lineage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+from repro.runner import JobSpec, ResultCache, run_jobs
+
+CRASHY = "tests.snapshot.jobs:crashy_dumbbell"
+
+#: small, fast dumbbell point shared by every test here
+KW = dict(scheme="pert", bandwidth=2e6, rtt=0.04, n_fwd=2, duration=3.0,
+          warmup=1.0, seed=4)
+
+
+def _spec(marker, **extra):
+    params = dict(KW, marker=str(marker), **extra)
+    return JobSpec(CRASHY, params)
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_crashed_attempt_resumes_from_its_checkpoint(tmp_path, workers):
+    cache = ResultCache(tmp_path / "cache")
+    spec = _spec(tmp_path / "crash.marker", die_after=2)
+    res = run_jobs(
+        [spec], workers=workers, cache=cache, retries=1, checkpoint=0.5,
+    )[0]
+
+    assert res.ok
+    assert res.attempts == 2  # crash + resumed retry
+    assert res.value["resumed"] is True
+    # interval 0.5, warmup 1.0: save #1 at t=0.5, save #2 (mid-measure,
+    # fatal) at t=1.5 — the retry picks up from there
+    assert res.value["resumed_at"] == 1.5
+    # on success the checkpoint file is deleted
+    assert not cache.checkpoint_path_for(spec).exists()
+
+    # and the resumed run's metrics equal an uninterrupted in-process run
+    straight = run_dumbbell(**KW)
+    assert res.value["events_processed"] == straight.events_processed
+    assert res.value["mean_queue_pkts"] == straight.mean_queue_pkts
+    assert res.value["utilization"] == straight.utilization
+    assert res.value["jain"] == straight.jain
+
+
+def test_manifest_records_checkpoint_lineage(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = _spec(tmp_path / "lineage.marker", die_after=2)
+    res = run_jobs([spec], workers=0, cache=cache, retries=1, checkpoint=0.5)[0]
+    assert res.ok
+
+    manifest = json.loads(cache.manifest_path_for(spec).read_text())
+    lineage = manifest["checkpoint"]
+    assert lineage["resumed"] is True
+    assert lineage["resumed_at"] == 1.5
+    assert lineage["resumed_from"]
+    assert lineage["interval"] == 0.5
+    assert lineage["saves"] > 0
+
+
+def test_checkpointing_is_silently_off_without_a_cache(tmp_path):
+    """No cache => no checkpoint path => the job never sees a slot."""
+    res = run_jobs(
+        [_spec(tmp_path / "nocache.marker")],
+        workers=0, cache=False, retries=1, checkpoint=0.5,
+    )[0]
+    assert res.ok
+    assert res.attempts == 1  # the job only crashes when a slot exists
+    assert res.value["resumed"] is False
+
+
+def test_unused_slot_leaves_no_lineage_or_file(tmp_path):
+    """Checkpointing enabled but the job finishes before the first save."""
+    cache = ResultCache(tmp_path / "cache")
+    # interval longer than the whole run: the slot exists but never saves
+    spec = _spec(tmp_path / "clean.marker")
+    res = run_jobs([spec], workers=0, cache=cache, retries=0, checkpoint=10.0)[0]
+    assert res.ok
+    assert res.value["resumed"] is False
+    assert not cache.checkpoint_path_for(spec).exists()
+    manifest = json.loads(cache.manifest_path_for(spec).read_text())
+    assert "checkpoint" not in manifest  # unused slots leave no record
+
+
+def test_env_var_enables_checkpointing(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECKPOINT", "0.5")
+    cache = ResultCache(tmp_path / "cache")
+    spec = _spec(tmp_path / "env.marker", die_after=2)
+    res = run_jobs([spec], workers=0, cache=cache, retries=1)[0]
+    assert res.ok
+    assert res.value["resumed"] is True

@@ -1,0 +1,129 @@
+"""Forking: one warm snapshot, N continuations (clones and perturbations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.snapshot import (
+    SnapshotError,
+    capture_bytes,
+    fork,
+    fork_bytes,
+    reseed_streams,
+    save,
+)
+
+
+class Ticker:
+    """Periodic consumer of one RNG stream — picklable (no closures)."""
+
+    def __init__(self, sim, label="ticker", period=0.1):
+        self.sim = sim
+        self.rng = sim.stream(label)
+        self.period = period
+        self.values = []
+        sim.schedule(period, self.tick)
+
+    def tick(self):
+        self.values.append(self.rng.random())
+        self.sim.schedule(self.period, self.tick)
+
+
+def _warm(seed=9, until=1.0):
+    sim = Simulator(seed=seed)
+    ticker = Ticker(sim)
+    sim.run(until=until)
+    return sim, ticker
+
+
+def test_clone_fork_continues_like_the_original():
+    sim, ticker = _warm()
+    body = capture_bytes(sim, ticker)
+    sim.run(until=3.0)
+
+    sim2, ticker2 = fork_bytes(body)  # salt=None: pure clone
+    sim2.run(until=3.0)
+    assert ticker2.values == ticker.values
+    assert sim2.events_processed == sim.events_processed
+
+
+def test_distinct_salts_diverge_same_salt_agrees():
+    sim, ticker = _warm()
+    body = capture_bytes(sim, ticker)
+    prefix = list(ticker.values)
+
+    runs = {}
+    for salt in ("a", "b", "a"):
+        fsim, fticker = fork_bytes(body, salt)
+        fsim.run(until=3.0)
+        runs.setdefault(salt, []).append(fticker.values)
+        # the shared prefix is history — already drawn before the fork
+        assert fticker.values[: len(prefix)] == prefix
+
+    a1, a2 = runs["a"]
+    (b1,) = runs["b"]
+    assert a1 == a2  # same salt => reproducible continuation
+    assert a1[len(prefix):] != b1[len(prefix):]  # different salts diverge
+
+    # and both diverge from the unsalted original
+    sim.run(until=3.0)
+    assert a1[len(prefix):] != ticker.values[len(prefix):]
+
+
+def test_streams_derived_after_the_fork_diverge_too():
+    sim, _ticker = _warm()
+    body = capture_bytes(sim)
+
+    def late_stream(salt):
+        fsim, _ = fork_bytes(body, salt)
+        return fsim.stream("late").random()
+
+    assert late_stream("a") != late_stream("b")
+
+
+def test_reseed_streams_returns_labels_and_is_deterministic():
+    sim, _ticker = _warm(seed=1)
+    assert reseed_streams(sim, "x") == ["ticker"]
+    first = sim._streams["ticker"].random()
+
+    sim2, _ = _warm(seed=1)
+    reseed_streams(sim2, "x")
+    assert sim2._streams["ticker"].random() == first
+
+
+def test_fork_file_records_lineage(tmp_path):
+    sim, ticker = _warm()
+    path = tmp_path / "warm.ckpt"
+    info = save(path, sim, ticker)
+
+    children = fork(path, [None, "a", 2])
+    assert len(children) == 3
+    for child, salt in zip(children, [None, "a", "2"]):
+        assert child.header["parent"] == info.id
+        assert child.header["fork_salt"] == salt
+        assert child.sim.now == sim.now
+
+
+def test_duplicate_salts_rejected(tmp_path):
+    sim, ticker = _warm()
+    path = tmp_path / "warm.ckpt"
+    save(path, sim, ticker)
+    with pytest.raises(SnapshotError, match="duplicate"):
+        fork(path, ["a", "b", "a"])
+    # None (pure clones) may repeat freely
+    assert len(fork(path, [None, None])) == 2
+
+
+def test_mutate_hook_perturbs_the_continuation():
+    sim, ticker = _warm()
+    body = capture_bytes(sim, ticker)
+
+    def hurry(fsim, fticker):
+        fticker.period = 0.05  # double the tick rate from here on
+
+    plain_sim, plain = fork_bytes(body)
+    fast_sim, fast = fork_bytes(body, mutate=hurry)
+    plain_sim.run(until=3.0)
+    fast_sim.run(until=3.0)
+    assert len(fast.values) > len(plain.values)

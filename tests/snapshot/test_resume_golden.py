@@ -1,0 +1,126 @@
+"""Resume-equals-straight-through, pinned to the determinism goldens.
+
+The PR's core acceptance criterion: a run that crashes mid-measure and
+resumes from its last periodic checkpoint must produce *the exact same*
+:class:`DumbbellResult` — every float bit-identical — as the run that was
+never interrupted, on the same fixed-seed points the golden suite pins.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.common import run_dumbbell
+from repro.snapshot import CheckpointSlot
+from repro.snapshot import runtime
+from tests.experiments.test_determinism_golden import (
+    GOLDEN_KW,
+    PERT_GOLDEN,
+    PERT_GOLDEN_INTS,
+    RED_GOLDEN,
+)
+
+#: small off-golden point for the cheaper invariance tests
+SMALL_KW = dict(bandwidth=2e6, rtt=0.04, n_fwd=2, duration=3.0,
+                warmup=1.0, seed=4)
+
+
+class _SimulatedCrash(RuntimeError):
+    pass
+
+
+class _DyingSlot(CheckpointSlot):
+    """Checkpoint slot that kills the run right after its Nth save —
+    the write lands on disk first, exactly like a crash between saves."""
+
+    def __init__(self, path, interval, die_after):
+        super().__init__(path, interval)
+        self.die_after = die_after
+
+    def save(self, sim, state=None):
+        info = super().save(sim, state)
+        if self.saves >= self.die_after:
+            raise _SimulatedCrash(f"killed after save #{self.saves}")
+        return info
+
+
+@contextmanager
+def _install(slot):
+    """Install *slot* as the active checkpoint, as the executor would."""
+    prev = runtime._ACTIVE
+    runtime._ACTIVE = slot
+    try:
+        yield slot
+    finally:
+        runtime._ACTIVE = prev
+
+
+def _crash_then_resume(scheme, kwargs, path, interval, die_after):
+    with _install(_DyingSlot(path, interval, die_after)):
+        with pytest.raises(_SimulatedCrash):
+            run_dumbbell(scheme, **kwargs)
+    assert path.exists(), "the dying save must have left a checkpoint"
+    with _install(CheckpointSlot(path, interval)) as slot:
+        result = run_dumbbell(scheme, **kwargs)
+    assert slot.resumed
+    return result, slot
+
+
+def test_pert_resume_is_bit_identical_and_hits_the_golden(tmp_path):
+    straight = run_dumbbell("pert", **GOLDEN_KW)
+    resumed, slot = _crash_then_resume(
+        "pert", GOLDEN_KW, tmp_path / "pert.ckpt", interval=1.0, die_after=3,
+    )
+    # warmup=3 saves at t=1,2; the third save (t=4) is mid-measure
+    assert slot.resumed_at == 4.0
+    assert asdict(resumed) == asdict(straight)
+    for name, expected in PERT_GOLDEN.items():
+        assert getattr(resumed, name) == pytest.approx(
+            expected, rel=1e-12, abs=1e-15
+        ), name
+    assert resumed.events_processed == PERT_GOLDEN_INTS["events_processed"]
+
+
+def test_sack_red_ecn_resume_is_bit_identical_and_hits_the_golden(tmp_path):
+    straight = run_dumbbell("sack-red-ecn", **GOLDEN_KW)
+    resumed, slot = _crash_then_resume(
+        "sack-red-ecn", GOLDEN_KW, tmp_path / "red.ckpt",
+        interval=1.0, die_after=3,
+    )
+    assert slot.resumed_at == 4.0
+    assert asdict(resumed) == asdict(straight)
+    for name, expected in RED_GOLDEN.items():
+        assert getattr(resumed, name) == pytest.approx(
+            expected, rel=1e-12, abs=1e-15
+        ), name
+
+
+def test_checkpoint_cadence_does_not_change_results(tmp_path):
+    """Periodic saving alone (no crash) must be invisible in the result."""
+    straight = run_dumbbell("pert", **SMALL_KW)
+    with _install(CheckpointSlot(tmp_path / "c.ckpt", 0.7)) as slot:
+        chunked = run_dumbbell("pert", **SMALL_KW)
+    assert slot.saves > 0 and not slot.resumed
+    assert asdict(chunked) == asdict(straight)
+
+
+def test_mismatched_checkpoint_is_rejected_not_resumed(tmp_path):
+    """A checkpoint from different run parameters must not be resumed."""
+    path = tmp_path / "stale.ckpt"
+    with _install(_DyingSlot(path, 0.7, die_after=2)):
+        with pytest.raises(_SimulatedCrash):
+            run_dumbbell("pert", **SMALL_KW)
+    assert path.exists()
+
+    other_kw = dict(SMALL_KW, seed=SMALL_KW["seed"] + 1)
+    straight = run_dumbbell("pert", **other_kw)
+    with _install(CheckpointSlot(path, 0.7)) as slot:
+        fresh = run_dumbbell("pert", **other_kw)
+    # reject() cleared the resume bookkeeping; the run restarted fresh
+    # (and then wrote its own periodic checkpoints over the stale file)
+    assert not slot.resumed
+    assert slot.resumed_from is None
+    assert asdict(fresh) == asdict(straight)
