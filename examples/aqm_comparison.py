@@ -5,12 +5,14 @@ Reproduces a slice of the paper's Figure 7 using the experiment harness
 directly: for each end-to-end RTT, runs SACK/DropTail, SACK/RED-ECN
 (router AQM), TCP Vegas, and PERT, then prints the four headline metrics.
 
-Run:  python examples/aqm_comparison.py [--full]
+Run:  python examples/aqm_comparison.py [--full | --quick]
 
-``--full`` widens the sweep toward the paper's 10 ms - 1 s range (slow).
+``--full`` widens the sweep toward the paper's 10 ms - 1 s range (slow);
+``--quick`` (or REPRO_QUICK=1) shrinks it to a CI-sized smoke run.
 """
 
 import argparse
+import os
 
 from repro.experiments.fig7_rtt import run
 from repro.experiments.report import format_table
@@ -18,13 +20,26 @@ from repro.experiments.report import format_table
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--full", action="store_true",
-                        help="wider, slower sweep (closer to paper scale)")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--full", action="store_true",
+                       help="wider, slower sweep (closer to paper scale)")
+    scale.add_argument("--quick", action="store_true",
+                       help="CI-sized smoke run (also: REPRO_QUICK=1)")
     args = parser.parse_args()
+    quick = args.quick or (not args.full and os.environ.get(
+        "REPRO_QUICK", "").lower() in ("1", "on", "true", "yes"))
 
-    rtts = ([0.01, 0.02, 0.06, 0.120, 0.240, 0.480, 1.0] if args.full
-            else [0.02, 0.06, 0.120])
-    rows = run(rtts=rtts, bandwidth=16e6, n_fwd=12, seed=1)
+    if args.full:
+        rtts = [0.01, 0.02, 0.06, 0.120, 0.240, 0.480, 1.0]
+    elif quick:
+        rtts = [0.02, 0.06]
+    else:
+        rtts = [0.02, 0.06, 0.120]
+    rows = run(rtts=rtts,
+               bandwidth=8e6 if quick else 16e6,
+               n_fwd=6 if quick else 12,
+               base_duration=10.0 if quick else 40.0,
+               seed=1)
     print(format_table(
         rows,
         ["rtt_ms", "scheme", "norm_queue", "drop_rate", "utilization",

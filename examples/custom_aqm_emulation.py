@@ -15,7 +15,10 @@ All four run over plain DropTail routers and are compared on the same
 workload.
 
 Run:  python examples/custom_aqm_emulation.py
+(Set REPRO_QUICK=1 for a seconds-scale smoke run — used by CI.)
 """
+
+import os
 
 from repro import (
     DropTailQueue,
@@ -32,10 +35,12 @@ from repro.core.pert_rem import PertRemSender
 from repro.fluid.stability import pert_pi_gains
 from repro.sim.monitors import DropLog, LinkWindow, QueueSampler
 
+QUICK = os.environ.get("REPRO_QUICK", "").lower() in ("1", "on", "true", "yes")
+
 BANDWIDTH = 10e6
-N_FLOWS = 6
+N_FLOWS = 4 if QUICK else 6
 BUFFER = 100
-DURATION, WARMUP = 40.0, 15.0
+DURATION, WARMUP = (12.0, 4.0) if QUICK else (40.0, 15.0)
 
 
 class QuadraticCurve:

@@ -7,10 +7,16 @@ bottleneck and renders the series as ASCII plots.  PERT's probabilistic
 fills the buffer; SACK rides the buffer up to overflow and halves.
 
 Run:  python examples/cwnd_dynamics.py
+(Set REPRO_QUICK=1 for a seconds-scale smoke run — used by CI.)
 """
+
+import os
 
 from repro import DropTailQueue, Dumbbell, PertSender, SackSender, Simulator, connect_flow
 from repro.sim.trace import FlowTracer, ascii_series
+
+QUICK = os.environ.get("REPRO_QUICK", "").lower() in ("1", "on", "true", "yes")
+TRACE_START, DURATION = (2.0, 12.0) if QUICK else (5.0, 30.0)
 
 
 def trace(sender_cls, label):
@@ -26,10 +32,12 @@ def trace(sender_cls, label):
                                  sender_cls=sender_cls)
         sender.start(at=0.2 * i)
         if i == 0:
-            tracer = FlowTracer(sim, sender, interval=0.05, start=5.0)
-    sim.run(until=30.0)
+            tracer = FlowTracer(sim, sender, interval=0.05, start=TRACE_START)
+    sim.run(until=DURATION)
     stats = tracer.cwnd_stats()
-    print(ascii_series(tracer.cwnd, label=f"{label} cwnd (packets), 5-30 s"))
+    print(ascii_series(tracer.cwnd,
+                       label=f"{label} cwnd (packets), "
+                             f"{TRACE_START:.0f}-{DURATION:.0f} s"))
     print(f"  mean={stats['mean']:.1f}  min={stats['min']:.1f}  "
           f"max={stats['max']:.1f}  peak/trough={stats['swing']:.2f}\n")
     return stats

@@ -9,7 +9,10 @@
    plot of the window trajectory on both sides of it.
 
 Run:  python examples/fluid_stability.py
+(Set REPRO_QUICK=1 for a seconds-scale smoke run — used by CI.)
 """
+
+import os
 
 from repro.fluid import (
     PertRedFluidModel,
@@ -17,6 +20,10 @@ from repro.fluid import (
     min_delta,
     trajectory_is_stable,
 )
+
+QUICK = os.environ.get("REPRO_QUICK", "").lower() in ("1", "on", "true", "yes")
+#: integration horizon per trajectory and bisection tolerance (s)
+HORIZON, TOL = (20.0, 5e-3) if QUICK else (60.0, 1e-3)
 
 FIG13A = dict(capacity=1000.0, r_plus=0.2, p_max=0.1, t_min=0.05,
               t_max=0.1, alpha=0.99)
@@ -49,15 +56,15 @@ def main() -> None:
     print("\nFigure 13(b-d): PERT/RED DDE trajectories (C=100 pkt/s, N=5)")
     for rtt in (0.100, 0.160, 0.171):
         model = PertRedFluidModel(rtt=rtt, **FIG13BD)
-        sol = model.simulate(duration=60.0, dt=2e-3)
+        sol = model.simulate(duration=HORIZON, dt=2e-3)
         verdict = "stable" if trajectory_is_stable(sol) else "UNSTABLE"
         w_star = model.equilibrium()[0]
         print(f"  R = {rtt*1e3:5.0f} ms: {verdict:8s}  (W* = {w_star:.2f} pkts)")
 
     def make(rtt):
-        return PertRedFluidModel(rtt=rtt, **FIG13BD).simulate(60.0, dt=4e-3)
+        return PertRedFluidModel(rtt=rtt, **FIG13BD).simulate(HORIZON, dt=4e-3)
 
-    boundary = find_stability_boundary(make, lo=0.15, hi=0.19, tol=1e-3)
+    boundary = find_stability_boundary(make, lo=0.15, hi=0.19, tol=TOL)
     print(f"\nEmpirical stability boundary: R ~ {boundary*1e3:.0f} ms "
           f"(paper observes ~171 ms)")
 

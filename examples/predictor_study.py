@@ -11,7 +11,10 @@ congestion predictor over its per-ACK RTT trace:
 * Figure 4's distribution — queue occupancy at srtt_0.99 false positives.
 
 Run:  python examples/predictor_study.py
+(Set REPRO_QUICK=1 for a seconds-scale smoke run — used by CI.)
 """
+
+import os
 
 from repro.experiments.fig2_loss_correlation import rows_from_traces as fig2_rows
 from repro.experiments.fig3_predictors import rows_from_traces as fig3_rows
@@ -21,11 +24,21 @@ from repro.experiments.section2 import TrafficCase, collect_case_trace
 from repro.metrics.stats import histogram_pdf
 
 
+QUICK = os.environ.get("REPRO_QUICK", "").lower() in ("1", "on", "true", "yes")
+
+
 def main() -> None:
-    case = TrafficCase("demo", n_fwd=14, n_rev=5, web_sessions=8)
+    if QUICK:
+        case = TrafficCase("demo", n_fwd=6, n_rev=2, web_sessions=3)
+        bandwidth, duration = 8e6, 15.0
+    else:
+        case = TrafficCase("demo", n_fwd=14, n_rev=5, web_sessions=8)
+        bandwidth, duration = 16e6, 60.0
     print(f"collecting trace: {case.n_fwd}+{case.n_rev} long flows, "
-          f"{case.web_sessions} web sessions, 16 Mbps bottleneck ...")
-    trace = collect_case_trace(case, bandwidth=16e6, duration=60.0, seed=4)
+          f"{case.web_sessions} web sessions, "
+          f"{bandwidth/1e6:.0f} Mbps bottleneck ...")
+    trace = collect_case_trace(case, bandwidth=bandwidth, duration=duration,
+                               seed=4)
     traces = {case.name: trace}
     print(f"observed flow: {len(trace.rtt_trace)} RTT samples, "
           f"{len(trace.flow_losses)} own losses, "

@@ -7,7 +7,10 @@ small and nearly lossless — with no router support — while matching
 standard TCP's utilization and improving its fairness.
 
 Run:  python examples/quickstart.py
+(Set REPRO_QUICK=1 for a seconds-scale smoke run — used by CI.)
 """
+
+import os
 
 from repro import (
     DropTailQueue,
@@ -20,10 +23,12 @@ from repro import (
 )
 from repro.sim.monitors import DropLog, LinkWindow, QueueSampler
 
+QUICK = os.environ.get("REPRO_QUICK", "").lower() in ("1", "on", "true", "yes")
+
 BANDWIDTH = 10e6  # 10 Mbps bottleneck
-N_FLOWS = 8
+N_FLOWS = 4 if QUICK else 8
 BUFFER = 100  # packets (~ one bandwidth-delay product)
-DURATION, WARMUP = 40.0, 15.0
+DURATION, WARMUP = (12.0, 4.0) if QUICK else (40.0, 15.0)
 
 
 def run(sender_cls, label: str) -> None:

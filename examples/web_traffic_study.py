@@ -7,15 +7,20 @@ plain SACK over DropTail builds standing queues and drops packets.
 Also demonstrates driving the traffic generators directly.
 
 Run:  python examples/web_traffic_study.py
+(Set REPRO_QUICK=1 for a seconds-scale smoke run — used by CI.)
 """
 
 import itertools
+import os
 
 from repro import DropTailQueue, Dumbbell, PertSender, SackSender, Simulator
 from repro.experiments.fig9_web import run as fig9_run
 from repro.experiments.report import format_table
 from repro.sim.monitors import QueueSampler
 from repro.traffic import start_web_sessions
+
+QUICK = os.environ.get("REPRO_QUICK", "").lower() in ("1", "on", "true", "yes")
+DEMO_SESSIONS, DEMO_DURATION = (3, 10.0) if QUICK else (5, 30.0)
 
 
 def direct_generator_demo() -> None:
@@ -25,15 +30,16 @@ def direct_generator_demo() -> None:
                   bottleneck_delay=0.02,
                   qdisc_fwd=lambda: DropTailQueue(60))
     sessions = start_web_sessions(
-        sim, 5, server=db.left[0], client=db.right[0],
+        sim, DEMO_SESSIONS, server=db.left[0], client=db.right[0],
         flow_ids=itertools.count(), start_window=2.0,
         sender_cls=PertSender, think_mean=0.5,
     )
     queue = QueueSampler(sim, db.bottleneck_queue, interval=0.05)
-    sim.run(until=30.0)
+    sim.run(until=DEMO_DURATION)
     pages = sum(s.pages_fetched for s in sessions)
     objects = sum(s.objects_fetched for s in sessions)
-    print(f"5 PERT web sessions over 30 s: {pages} pages, {objects} objects,"
+    print(f"{DEMO_SESSIONS} PERT web sessions over {DEMO_DURATION:.0f} s: "
+          f"{pages} pages, {objects} objects,"
           f" mean queue {queue.mean():.1f} pkts,"
           f" drops {db.bottleneck_queue.stats.drops}")
 
@@ -43,9 +49,14 @@ def main() -> None:
     direct_generator_demo()
 
     print("\n== Figure 9 slice: web load sweep ==")
-    rows = fig9_run(session_counts=[2, 8], bandwidth=10e6, n_fwd=8,
-                    duration=40.0, warmup=15.0, seed=1,
-                    schemes=("pert", "sack-droptail"))
+    if QUICK:
+        rows = fig9_run(session_counts=[2, 4], bandwidth=6e6, n_fwd=4,
+                        duration=10.0, warmup=4.0, seed=1,
+                        schemes=("pert", "sack-droptail"))
+    else:
+        rows = fig9_run(session_counts=[2, 8], bandwidth=10e6, n_fwd=8,
+                        duration=40.0, warmup=15.0, seed=1,
+                        schemes=("pert", "sack-droptail"))
     print(format_table(
         rows, ["web_sessions", "scheme", "norm_queue", "drop_rate",
                "utilization", "jain"],

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig6 [--workers N] [--no-cache]
     python -m repro.experiments all -j 8 --progress
+    python -m repro.experiments report      # paper-fidelity verdict
 
 Each experiment prints the reproduced table next to the paper's
 expectation.  Grid-shaped experiments execute through
@@ -107,8 +108,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="experiment id (e.g. fig6, table1), 'list', or 'all'",
+        choices=sorted(EXPERIMENTS) + ["list", "all", "report"],
+        help="experiment id (e.g. fig6, table1), 'list', 'all', or "
+             "'report' (paper-fidelity verdict via repro.validate)",
     )
     parser.add_argument(
         "-j", "--workers", type=int, default=None, metavar="N",
@@ -148,7 +150,16 @@ def main(argv=None) -> int:
         for name, mod in sorted(EXPERIMENTS.items()):
             doc = (mod.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
+        print("\nhow close is each figure to the paper?  "
+              "`python -m repro.experiments report` (or "
+              "`python -m repro.validate run --quick`)")
         return 0
+
+    if args.experiment == "report":
+        # Measured-vs-paper comparison lives in the validation subsystem.
+        from ..validate.__main__ import main as validate_main
+
+        return validate_main(["report"])
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with _scoped_env(_runner_env(args)):

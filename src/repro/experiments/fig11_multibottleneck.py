@@ -30,7 +30,7 @@ from .report import format_table
 from .scenarios import get_scheme, scheme_sender_kwargs
 from .sweep import SECTION4_SCHEMES
 
-__all__ = ["run_parking_lot", "run", "main"]
+__all__ = ["run_parking_lot", "run", "validation_metrics", "main"]
 
 PAPER_EXPECTATION = (
     "PERT: low queue and zero drops on every hop; utilization similar "
@@ -169,6 +169,16 @@ def run(
                 }
             )
     return rows
+
+
+def validation_metrics(rows: List[Dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-hop rows)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+        keys=("hop",),
+    )
 
 
 def main() -> None:

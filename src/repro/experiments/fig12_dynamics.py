@@ -22,7 +22,8 @@ from ..tcp.base import connect_flow
 from .report import format_table
 from .scenarios import get_scheme, scheme_sender_kwargs
 
-__all__ = ["run_dynamics", "run", "cohort_share_error", "main"]
+__all__ = ["run_dynamics", "run", "cohort_share_error", "validation_metrics",
+           "main"]
 
 PAPER_EXPECTATION = (
     "Cohort aggregate throughputs re-converge to equal shares within "
@@ -149,6 +150,22 @@ def cohort_share_error(result: Dict, epoch_index: int) -> float:
 def run(schemes: Sequence[str] = ("pert", "sack-droptail", "sack-red-ecn",
                                   "vegas"), **kwargs) -> List[Dict]:
     return [run_dynamics(scheme, **kwargs) for scheme in schemes]
+
+
+def validation_metrics(results: List[Dict]):
+    """Flatten :func:`run` output for ``repro.validate``.
+
+    One metric per scheme per arrival epoch: the mean relative deviation
+    of cohort throughputs from equal shares late in that epoch.
+    """
+    from ..validate.extract import metric_id
+
+    out = {}
+    for res in results:
+        for e in range(res["n_cohorts"]):
+            out[metric_id(res["scheme"], "share_error", {"epoch": e})] = \
+                cohort_share_error(res, e)
+    return out
 
 
 def main() -> None:

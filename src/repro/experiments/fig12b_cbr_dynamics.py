@@ -26,7 +26,7 @@ from ..traffic.cbr import CbrSink, CbrSource
 from .report import format_table
 from .scenarios import get_scheme, scheme_sender_kwargs
 
-__all__ = ["run_cbr_dynamics", "run", "main"]
+__all__ = ["run_cbr_dynamics", "run", "validation_metrics", "main"]
 
 PAPER_EXPECTATION = (
     "Responsive flows concede quickly when unresponsive traffic arrives "
@@ -149,6 +149,23 @@ def run(schemes: Sequence[str] = ("pert", "sack-droptail", "sack-red-ecn",
             "drops_total": res["drops_total"],
         })
     return rows
+
+
+def validation_metrics(rows: List[Dict]):
+    """Flatten :func:`run` output for ``repro.validate``.
+
+    A phase that never settles yields ``concede_s``/``reclaim_s`` of
+    ``None``; those are omitted, so a banded settling time reports as
+    ``missing`` (a failure) rather than comparing against ``None``.
+    """
+    from ..validate.extract import metric_id
+
+    out = {}
+    for row in rows:
+        for m in ("concede_s", "reclaim_s", "drops_squeeze", "drops_total"):
+            if row[m] is not None:
+                out[metric_id(row["scheme"], m)] = float(row[m])
+    return out
 
 
 def main() -> None:

@@ -18,7 +18,8 @@ from ..fluid.pert_red import PertRedFluidModel
 from ..fluid.stability import min_delta, trajectory_is_stable
 from .report import format_table
 
-__all__ = ["run_min_delta", "run_trajectories", "run", "main"]
+__all__ = ["run_min_delta", "run_trajectories", "run", "validation_metrics",
+           "main"]
 
 PAPER_EXPECTATION = (
     "(a) min delta decreases monotonically to ~0.1 s at N-=40; "
@@ -71,6 +72,26 @@ def run(**kwargs) -> Dict[str, List[Dict]]:
         "fig13a": run_min_delta(),
         "fig13bd": run_trajectories(**kwargs),
     }
+
+
+def validation_metrics(output: Dict[str, List[Dict]]):
+    """Flatten :func:`run` output for ``repro.validate``.
+
+    Emits δ_min per N⁻ (Figure 13a), plus the stability verdict (1.0 =
+    stable) and equilibrium window per delay (Figure 13b-d) — the
+    paper's claim is precisely the stable/stable/unstable pattern.
+    """
+    from ..validate.extract import metric_id
+
+    out = {}
+    for row in output["fig13a"]:
+        out[metric_id("", "min_delta_s", {"n_minus": row["n_minus"]})] = \
+            row["min_delta_s"]
+    for row in output["fig13bd"]:
+        tags = {"rtt_ms": row["rtt_ms"]}
+        out[metric_id("", "stable", tags)] = 1.0 if row["stable"] else 0.0
+        out[metric_id("", "w_star", tags)] = row["w_star"]
+    return out
 
 
 def main() -> None:

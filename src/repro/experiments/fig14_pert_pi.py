@@ -18,7 +18,8 @@ from .common import run_dumbbell
 from .report import format_table
 from .sweep import result_row
 
-__all__ = ["run", "main", "DEFAULT_RTTS", "FIG14_SCHEMES"]
+__all__ = ["run", "validation_metrics", "main", "DEFAULT_RTTS",
+           "FIG14_SCHEMES"]
 
 PAPER_EXPECTATION = (
     "PERT-PI utilization and queue similar to router PI/ECN; ~zero "
@@ -57,6 +58,16 @@ def run(
             )
             rows.append(result_row(result, {"rtt_ms": rtt * 1e3}))
     return rows
+
+
+def validation_metrics(rows: List[dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-RTT rows)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+        keys=("rtt_ms",),
+    )
 
 
 def main() -> None:

@@ -20,7 +20,7 @@ from ..predictors.threshold import InstantRttPredictor
 from .report import format_table
 from .section2 import CaseTrace, TrafficCase, collect_case_trace, default_cases
 
-__all__ = ["run", "rows_from_traces", "main"]
+__all__ = ["run", "rows_from_traces", "validation_metrics", "main"]
 
 PAPER_EXPECTATION = (
     "Queue-level high->loss fraction well above the flow-level fraction "
@@ -76,6 +76,14 @@ def run(
         for c in cases
     }
     return rows_from_traces(traces)
+
+
+def validation_metrics(rows: List[dict]) -> Dict[str, float]:
+    """Flatten :func:`run` output for ``repro.validate`` (per-case fractions)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(rows, metrics=("flow_level", "queue_level"),
+                           prefix_col="case")
 
 
 def main() -> None:

@@ -33,7 +33,8 @@ from ..predictors import (
 from .report import format_table
 from .section2 import CaseTrace, TrafficCase, collect_case_trace, default_cases
 
-__all__ = ["predictor_suite", "rows_from_traces", "run", "main"]
+__all__ = ["predictor_suite", "rows_from_traces", "run", "validation_metrics",
+           "main"]
 
 PAPER_EXPECTATION = (
     "srtt_0.99 and the buffer-sized moving average dominate: high "
@@ -102,6 +103,16 @@ def run(
         for c in cases
     }
     return rows_from_traces(traces)
+
+
+def validation_metrics(rows: List[dict]) -> Dict[str, float]:
+    """Flatten :func:`run` output for ``repro.validate`` (per-predictor scores)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("efficiency", "false_pos", "false_neg"),
+        prefix_col="predictor",
+    )
 
 
 def main() -> None:

@@ -21,7 +21,7 @@ from ..predictors.threshold import EwmaRttPredictor
 from .report import format_table
 from .section2 import CaseTrace, TrafficCase, collect_case_trace, default_cases
 
-__all__ = ["false_positive_queue_levels", "run", "main"]
+__all__ = ["false_positive_queue_levels", "run", "validation_metrics", "main"]
 
 PAPER_EXPECTATION = (
     "The PDF mass of normalized queue length at false positives sits "
@@ -64,6 +64,24 @@ def run(
     pdf = histogram_pdf(levels, bins=bins, lo=0.0, hi=1.0)
     rows = [{"norm_queue_bin": c, "pdf": p} for c, p in pdf]
     return rows, levels
+
+
+def validation_metrics(output: Tuple[List[dict], List[float]]) -> Dict[str, float]:
+    """Flatten :func:`run` output for ``repro.validate``.
+
+    The headline number is the paper's claim itself: the fraction of
+    false positives occurring below half occupancy.  The sample count
+    rides along so a silent collapse of the detector (very few false
+    positives) cannot masquerade as a strong concentration.
+    """
+    _, levels = output
+    below_half = (
+        sum(1 for x in levels if x < 0.5) / len(levels) if levels else 0.0
+    )
+    return {
+        "false_positives.below_half_fraction": below_half,
+        "false_positives.samples": float(len(levels)),
+    }
 
 
 def main() -> None:

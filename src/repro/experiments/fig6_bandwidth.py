@@ -23,7 +23,7 @@ from .report import format_table
 from .scenarios import ScenarioPoint, ScenarioSpec
 from .sweep import SECTION4_SCHEMES
 
-__all__ = ["spec", "run", "main", "DEFAULT_BANDWIDTHS"]
+__all__ = ["spec", "run", "validation_metrics", "main", "DEFAULT_BANDWIDTHS"]
 
 PAPER_EXPECTATION = (
     "Queue: droptail high, PERT <= RED-ECN, Vegas sometimes above "
@@ -82,6 +82,16 @@ def run(
 ) -> List[dict]:
     return spec(bandwidths, rtt=rtt, duration=duration, warmup=warmup,
                 seed=seed, schemes=schemes, web_sessions=web_sessions).run()
+
+
+def validation_metrics(rows: List[dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-bandwidth rows)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+        keys=("bandwidth_mbps",),
+    )
 
 
 def main() -> None:

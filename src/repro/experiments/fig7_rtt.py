@@ -17,7 +17,7 @@ from .report import format_table
 from .scenarios import ScenarioPoint, ScenarioSpec
 from .sweep import SECTION4_SCHEMES
 
-__all__ = ["spec", "run", "main", "DEFAULT_RTTS"]
+__all__ = ["spec", "run", "validation_metrics", "main", "DEFAULT_RTTS"]
 
 PAPER_EXPECTATION = (
     "Queue and drop rate of PERT similar to SACK/RED-ECN across RTTs; "
@@ -77,6 +77,16 @@ def run(
     return spec(rtts, bandwidth=bandwidth, n_fwd=n_fwd, seed=seed,
                 schemes=schemes, web_sessions=web_sessions,
                 base_duration=base_duration).run()
+
+
+def validation_metrics(rows: List[dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-RTT rows)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+        keys=("rtt_ms",),
+    )
 
 
 def main() -> None:

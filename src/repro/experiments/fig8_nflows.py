@@ -18,7 +18,7 @@ from .report import format_table
 from .scenarios import ScenarioPoint, ScenarioSpec
 from .sweep import SECTION4_SCHEMES
 
-__all__ = ["spec", "run", "main", "DEFAULT_FLOW_COUNTS"]
+__all__ = ["spec", "run", "validation_metrics", "main", "DEFAULT_FLOW_COUNTS"]
 
 PAPER_EXPECTATION = (
     "PERT queue/drops similar to RED-ECN at every flow count; Vegas "
@@ -73,6 +73,16 @@ def run(
     return spec(flow_counts, bandwidth=bandwidth, rtt=rtt, duration=duration,
                 warmup=warmup, seed=seed, schemes=schemes,
                 web_sessions=web_sessions).run()
+
+
+def validation_metrics(rows: List[dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-flow-count rows)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+        keys=("n_fwd",),
+    )
 
 
 def main() -> None:

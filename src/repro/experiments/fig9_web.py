@@ -17,7 +17,8 @@ from .report import format_table
 from .scenarios import ScenarioPoint, ScenarioSpec
 from .sweep import SECTION4_SCHEMES
 
-__all__ = ["spec", "run", "main", "DEFAULT_SESSION_COUNTS"]
+__all__ = ["spec", "run", "validation_metrics", "main",
+           "DEFAULT_SESSION_COUNTS"]
 
 PAPER_EXPECTATION = (
     "PERT: low queue and ~zero drops at every web load, like RED-ECN; "
@@ -72,6 +73,16 @@ def run(
     return spec(session_counts, bandwidth=bandwidth, rtt=rtt, n_fwd=n_fwd,
                 duration=duration, warmup=warmup, seed=seed,
                 schemes=schemes).run()
+
+
+def validation_metrics(rows: List[dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-web-load rows)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+        keys=("web_sessions",),
+    )
 
 
 def main() -> None:

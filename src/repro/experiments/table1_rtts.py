@@ -25,7 +25,7 @@ from ..runner import dumbbell_spec, run_jobs
 from .report import format_table
 from .sweep import SECTION4_SCHEMES, failed_row, result_row
 
-__all__ = ["run", "main", "PAPER_TABLE"]
+__all__ = ["run", "validation_metrics", "main", "PAPER_TABLE"]
 
 PAPER_TABLE = {
     "pert": {"Q": 0.28, "p": 3.98e-06, "U": 0.9381, "F": 0.86},
@@ -90,6 +90,15 @@ def run(
         row["paper_F"] = paper.get("F", "")
         rows.append(row)
     return rows
+
+
+def validation_metrics(rows: List[dict]):
+    """Flatten :func:`run` output for ``repro.validate`` (per-scheme Q/p/U/F)."""
+    from ..validate.extract import rows_to_metrics
+
+    return rows_to_metrics(
+        rows, metrics=("norm_queue", "drop_rate", "utilization", "jain"),
+    )
 
 
 def main() -> None:

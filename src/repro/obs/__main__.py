@@ -67,6 +67,7 @@ def _cmd_profile(args) -> int:
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Inspect observability output of repro runs.",

@@ -146,6 +146,7 @@ class Collector:
     # queue hooks (called from QueueDiscipline.enqueue/dequeue)
     # ------------------------------------------------------------------
     def queue_event(self, qdisc, kind: str, pkt, now: float, forced: bool = False) -> None:
+        """Hook: a packet was enqueued, dropped, or marked at *qdisc*."""
         qi = self._queues[id(qdisc)]
         records = self.records
         if kind == "enqueue":
@@ -178,6 +179,7 @@ class Collector:
             self._queue_sample(qi, now)
 
     def queue_departure(self, qdisc, pkt, now: float) -> None:
+        """Hook: a packet left *qdisc*; may emit a periodic queue sample."""
         qi = self._queues[id(qdisc)]
         if now >= qi.next_sample:
             self._queue_sample(qi, now)
@@ -205,6 +207,7 @@ class Collector:
     # sender hooks (called from TcpSender and the PERT variants)
     # ------------------------------------------------------------------
     def sender_event(self, sender, kind: str, now: float) -> None:
+        """Hook: *sender* took an early response or a timeout."""
         si = self._senders[id(sender)]
         if kind == "early_response":
             si.c_early.inc()
@@ -217,6 +220,7 @@ class Collector:
             })
 
     def sender_ack(self, sender, now: float) -> None:
+        """Hook: *sender* processed an ACK; may emit a cwnd sample."""
         si = self._senders[id(sender)]
         if now < si.next_sample:
             return
@@ -233,6 +237,7 @@ class Collector:
     # link hook (called from Link._tx_done)
     # ------------------------------------------------------------------
     def link_tx(self, link, now: float) -> None:
+        """Hook: *link* transmitted a packet; may emit a link sample."""
         li = self._links[id(link)]
         if now < li.next_sample:
             return

@@ -39,7 +39,13 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest", "load_manifests"]
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "build_validation_manifest",
+    "write_manifest",
+    "load_manifests",
+]
 
 #: bump when manifest fields change incompatibly
 MANIFEST_SCHEMA = 1
@@ -100,6 +106,42 @@ def build_manifest(
     if trace_file is not None:
         manifest["trace_file"] = trace_file
     return manifest
+
+
+def build_validation_manifest(
+    *,
+    figure: str,
+    tier: str,
+    status: str,
+    deviations: Dict[str, Optional[float]],
+    wall_time: float,
+    error: Optional[str] = None,
+) -> dict:
+    """Assemble a manifest for one paper-fidelity figure check.
+
+    Validation manifests share the schema-v1 envelope so
+    :func:`load_manifests` and the report CLI pick them up alongside
+    job manifests; ``kind`` is ``"validation"`` and the figure-specific
+    facts — per-metric signed percent deviations from their targets and
+    the pass/gap/fail status — live under the ``validation`` key.
+    Written by ``python -m repro.validate run`` into the run directory's
+    ``validation/`` folder.
+    """
+    from .. import __version__
+
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "kind": "validation",
+        "repro_version": __version__,
+        "wall_time": wall_time,
+        "validation": {
+            "figure": figure,
+            "tier": tier,
+            "status": status,
+            "error": error,
+            "deviations_pct": dict(deviations),
+        },
+    }
 
 
 def write_manifest(path: Union[str, Path], manifest: dict) -> Path:

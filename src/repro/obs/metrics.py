@@ -43,9 +43,11 @@ class Counter:
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
+        """Add *n* (default 1) to the count."""
         self.value += n
 
     def snapshot(self):
+        """The current count (already JSON-clean)."""
         return self.value
 
 
@@ -59,9 +61,11 @@ class Gauge:
         self.value: Optional[float] = None
 
     def set(self, value: float) -> None:
+        """Record *value* as the gauge's current reading."""
         self.value = value
 
     def snapshot(self):
+        """The last-set value (``None`` when never set)."""
         return self.value
 
 
@@ -90,6 +94,7 @@ class Histogram:
         self.max: Optional[float] = None
 
     def observe(self, value: float) -> None:
+        """Add one observation to its bucket and the running aggregates."""
         self.counts[bisect.bisect_left(self.edges, value)] += 1
         self.total += value
         self.count += 1
@@ -100,6 +105,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> Optional[float]:
@@ -121,6 +127,7 @@ class Histogram:
         return self.max
 
     def snapshot(self):
+        """JSON-clean dict: bucket edges/counts plus sum/count/min/max."""
         return {
             "edges": list(self.edges),
             "counts": list(self.counts),
@@ -143,12 +150,15 @@ class MetricsRegistry:
         self._instruments: Dict[str, object] = {}
 
     def counter(self, name: str) -> Counter:
+        """Get-or-create the :class:`Counter` registered under *name*."""
         return self._get(name, Counter, lambda: Counter(name))
 
     def gauge(self, name: str) -> Gauge:
+        """Get-or-create the :class:`Gauge` registered under *name*."""
         return self._get(name, Gauge, lambda: Gauge(name))
 
     def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        """Get-or-create the :class:`Histogram` under *name* (fixed edges)."""
         return self._get(name, Histogram, lambda: Histogram(name, edges))
 
     def _get(self, name, cls, make):

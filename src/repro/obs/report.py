@@ -178,15 +178,23 @@ def generate_report(
     run_dir, top: int = 10, include_trace: bool = True
 ) -> str:
     """Build the full text report for *run_dir*."""
-    manifests = load_manifests(run_dir)
+    all_manifests = load_manifests(run_dir)
+    validations = [m for m in all_manifests if m.get("kind") == "validation"]
+    manifests = [m for m in all_manifests if m.get("kind") != "validation"]
     out: List[str] = []
-    if not manifests:
+    if not all_manifests:
         return (
             f"no manifests found under {run_dir}\n"
             "(manifests are written next to cache entries by fresh runs; "
             "re-run with --no-cache disabled, e.g. "
-            "`python -m repro.experiments fig6 --obs --cache-dir <run-dir>`)"
+            "`python -m repro.experiments fig6 --obs --cache-dir <run-dir>`; "
+            "for paper-fidelity verdicts see `python -m repro.validate report`)"
         )
+    if not manifests:
+        out.append(f"run directory : {run_dir}")
+        out.append("jobs          : 0 (validation manifests only)")
+        out.append(_validation_section(validations))
+        return "\n".join(out)
 
     total_wall = sum(m.get("wall_time") or 0.0 for m in manifests)
     total_events = sum(m.get("events") or 0 for m in manifests)
@@ -245,4 +253,29 @@ def generate_report(
             out.append("\n== traces ==")
             out.extend(tlines)
 
+    if validations:
+        out.append(_validation_section(validations))
+
     return "\n".join(out)
+
+
+def _validation_section(validations: List[dict]) -> str:
+    """Summarize paper-fidelity verdict manifests left by repro.validate."""
+    rows = []
+    for m in validations:
+        v = m.get("validation") or {}
+        devs = [d for d in (v.get("deviations_pct") or {}).values()
+                if isinstance(d, (int, float))]
+        worst = max(devs, key=abs) if devs else None
+        rows.append([
+            f"{v.get('figure', '?')} ({v.get('tier', '?')})",
+            str(v.get("status", "?")),
+            str(len(v.get("deviations_pct") or {})),
+            f"{worst:+.2f}%" if worst is not None else "-",
+            _fmt_secs(m.get("wall_time")),
+        ])
+    return (
+        "\n== paper-fidelity validation (repro.validate) ==\n"
+        + format_table(["figure", "status", "metrics", "worst_dev", "wall"], rows)
+        + "\n(details: `python -m repro.validate report`)"
+    )

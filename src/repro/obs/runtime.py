@@ -102,6 +102,7 @@ class JobObservation:
         self._t0 = time.monotonic()
 
     def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall time under phase *name*."""
         self.phases[name] = self.phases.get(name, 0.0) + seconds
 
     def finish(self) -> dict:
@@ -136,14 +137,17 @@ def observe_job(flags: Optional[ObsFlags] = None):
 
 
 def active() -> Optional[JobObservation]:
+    """The observation installed by :func:`observe_job`, if any."""
     return _ACTIVE
 
 
 def active_collector() -> Optional[Collector]:
+    """The active observation's collector (``None`` when not collecting)."""
     return _ACTIVE.collector if _ACTIVE is not None else None
 
 
 def active_profiler() -> Optional[SamplingProfiler]:
+    """The active observation's profiler (``None`` when not profiling)."""
     return _ACTIVE.profiler if _ACTIVE is not None else None
 
 

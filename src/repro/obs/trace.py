@@ -41,6 +41,7 @@ class TraceWriter:
         self.records_written = 0
 
     def write(self, rec: dict) -> None:
+        """Validate and append one record as a JSON line."""
         validate_record(rec)
         self._fh.write(json.dumps(rec, sort_keys=True))
         self._fh.write("\n")

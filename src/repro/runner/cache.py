@@ -52,6 +52,7 @@ class ResultCache:
         self.root = Path(root).expanduser() if root is not None else default_cache_dir()
 
     def path_for(self, spec: JobSpec) -> Path:
+        """Cache-entry path for *spec*: ``<root>/<key[:2]>/<key>.json``."""
         key = spec.cache_key
         return self.root / key[:2] / f"{key}.json"
 

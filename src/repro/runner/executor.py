@@ -58,6 +58,7 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
+        """True when the job produced a payload (fresh run or cache hit)."""
         return self.status == "ok"
 
 

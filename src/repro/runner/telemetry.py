@@ -37,12 +37,15 @@ class RunnerStats:
 
     @property
     def finished(self) -> int:
+        """Jobs settled so far (fresh + failed + cache hits)."""
         return self.done + self.failed + self.cached
 
     def elapsed(self) -> float:
+        """Wall seconds since this ``run_jobs`` call started (never 0)."""
         return max(1e-9, time.monotonic() - self.started)
 
     def events_per_second(self) -> float:
+        """Live simulation throughput: fresh-job events over elapsed time."""
         return self.events / self.elapsed()
 
     def snapshot(self) -> Dict:
@@ -61,6 +64,7 @@ class RunnerStats:
         }
 
     def summary(self) -> str:
+        """One-line human-readable progress string for log output."""
         line = (
             f"{self.finished}/{self.total} jobs "
             f"({self.cached} cached, {self.failed} failed, "

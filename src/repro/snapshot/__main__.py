@@ -51,6 +51,7 @@ def _print_header(header: Dict[str, Any]) -> None:
 
 
 def cmd_inspect(args) -> int:
+    """``inspect``: print the header without unpickling the body."""
     header = core.inspect(args.file)
     if args.json:
         print(json.dumps(header, indent=2, sort_keys=True))
@@ -60,6 +61,7 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    """``verify``: checksum, restore the body, and check invariants."""
     header = core.verify(args.file)
     if args.json:
         print(json.dumps(header, indent=2, sort_keys=True))
@@ -70,6 +72,7 @@ def cmd_verify(args) -> int:
 
 
 def cmd_diff(args) -> int:
+    """``diff``: compare two checkpoints' summaries; exit 1 on mismatch."""
     def facts(path: str) -> Dict[str, Any]:
         header = core.inspect(path)
         sim = dict(header.get("sim") or {})
@@ -104,6 +107,7 @@ def cmd_diff(args) -> int:
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(
         prog="repro.snapshot",
         description="Inspect, verify and diff simulation checkpoints",

@@ -72,6 +72,7 @@ class SnapshotInfo:
 
     @property
     def size_mb(self) -> float:
+        """Checkpoint body size in megabytes (decimal)."""
         return self.body_bytes / 1e6
 
 
@@ -85,6 +86,7 @@ class Restored:
 
     @property
     def id(self) -> str:
+        """The restored checkpoint's snapshot id (from its header)."""
         return self.header.get("id", "")
 
 

@@ -1,0 +1,312 @@
+"""Paper-fidelity validation CLI.
+
+Usage::
+
+    python -m repro.validate run [--quick|--full] [--figure F ...]
+                                 [-j N] [--no-cache] [--cache-dir DIR]
+                                 [--docs PATH | --no-docs] [--out PATH]
+    python -m repro.validate report [--quick|--full] [--verdict PATH]
+    python -m repro.validate update-golden [--quick|--full] [--figure F ...]
+    python -m repro.validate diff [--quick|--full] [--figure F ...]
+
+``run`` executes the selected tier through the cached parallel runner,
+compares every extracted metric against the committed bands in
+``src/repro/validate/expected/``, writes the machine-readable verdict
+(plus per-figure deviation manifests for ``python -m repro.obs
+report``), regenerates ``docs/RESULTS.md``, and exits non-zero naming
+the offending figures when anything lands outside its band.
+
+``report`` re-renders the last verdict without re-running anything;
+``diff`` shows every measured metric (banded or not) against its band;
+``update-golden`` re-pins the repro-sourced targets after an
+intentional behaviour change (see ``docs/VALIDATION.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from .docgen import write_results_md
+from .suite import SUITE, run_suite
+from .verdict import FigureVerdict, Verdict
+
+#: default location of the committed, generated results document
+DEFAULT_DOCS = Path("docs") / "RESULTS.md"
+
+
+@contextlib.contextmanager
+def _scoped_env(updates: Dict[str, Optional[str]]) -> Iterator[None]:
+    """Apply environment overrides for the duration of the run only."""
+    saved = {k: os.environ.get(k) for k in updates}
+    try:
+        for k, v in updates.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _runner_env(args) -> Dict[str, Optional[str]]:
+    """Translate CLI flags into the runner's environment knobs."""
+    env: Dict[str, Optional[str]] = {}
+    if getattr(args, "workers", None) is not None:
+        env["REPRO_WORKERS"] = str(args.workers)
+    if getattr(args, "no_cache", False):
+        env["REPRO_CACHE"] = "0"
+    if getattr(args, "cache_dir", None):
+        env["REPRO_CACHE_DIR"] = args.cache_dir
+    if getattr(args, "progress", False):
+        env["REPRO_PROGRESS"] = "1"
+    return env
+
+
+def _tier(args) -> str:
+    return "full" if args.full else "quick"
+
+
+def _validation_dir() -> Path:
+    """Where verdicts and validation manifests live: ``<cache>/validation``."""
+    from ..runner.cache import default_cache_dir
+
+    return default_cache_dir() / "validation"
+
+
+def _default_verdict_path(tier: str) -> Path:
+    return _validation_dir() / f"verdict-{tier}.json"
+
+
+def _figure_line(fv: FigureVerdict) -> str:
+    """One status line per figure for the live run output."""
+    gaps = sum(1 for c in fv.checks if c.status == "gap")
+    extra = f", {gaps} known gap{'s' if gaps != 1 else ''}" if gaps else ""
+    if fv.error is not None:
+        return f"{fv.figure:10s} FAIL   (check error: {fv.error})"
+    return (
+        f"{fv.figure:10s} {fv.status:5s}  "
+        f"{len(fv.checks)} checks{extra}  [{fv.wall_time:.1f}s]"
+    )
+
+
+def _print_failures(verdict: Verdict) -> None:
+    """Spell out every out-of-band metric with its band and deviation."""
+    for fv in verdict.figures:
+        if not fv.failed:
+            continue
+        print(f"\n{fv.figure} — {fv.title}: FAIL")
+        if fv.error is not None:
+            print(f"  check error: {fv.error}")
+        for c in fv.checks:
+            if not c.failed:
+                continue
+            dev = c.deviation_pct()
+            devs = f" ({dev:+.2f}% off target)" if dev is not None else ""
+            measured = "not measured" if c.measured is None else repr(c.measured)
+            print(f"  {c.metric}: measured {measured}, "
+                  f"band {c.band.describe()}{devs}")
+
+
+def _write_validation_manifests(verdict: Verdict) -> None:
+    """Drop one deviation manifest per figure for the obs report CLI."""
+    from ..obs.manifest import build_validation_manifest, write_manifest
+
+    out_dir = _validation_dir()
+    for fv in verdict.figures:
+        manifest = build_validation_manifest(
+            figure=fv.figure,
+            tier=verdict.tier,
+            status=fv.status,
+            deviations={c.metric: c.deviation_pct() for c in fv.checks},
+            wall_time=fv.wall_time,
+            error=fv.error,
+        )
+        write_manifest(
+            out_dir / f"{verdict.tier}-{fv.figure}.manifest.json", manifest
+        )
+
+
+def _summary(verdict: Verdict) -> str:
+    counts = verdict.counts()
+    return (
+        f"overall: {verdict.status} ({counts['pass']} pass / "
+        f"{counts['fail']} fail / {counts['gap']} gap / "
+        f"{counts['missing']} missing over {len(verdict.figures)} figures)"
+    )
+
+
+def _cmd_run(args) -> int:
+    tier = _tier(args)
+    with _scoped_env(_runner_env(args)):
+        verdict = run_suite(
+            tier, figures=args.figure or None,
+            expected_dir=Path(args.expected) if args.expected else None,
+            progress=lambda fv: print(_figure_line(fv)),
+        )
+    out_path = Path(args.out) if args.out else _default_verdict_path(tier)
+    verdict.save(out_path)
+    _write_validation_manifests(verdict)
+    print(f"verdict: {out_path}")
+    if not args.no_docs:
+        docs = Path(args.docs) if args.docs else DEFAULT_DOCS
+        write_results_md(verdict, docs)
+        print(f"results doc regenerated: {docs}")
+    print(_summary(verdict))
+    if verdict.status == "fail":
+        _print_failures(verdict)
+        print(f"\nVALIDATION FAILED: {', '.join(verdict.failing_figures)}")
+        return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    tier = _tier(args)
+    path = Path(args.verdict) if args.verdict else _default_verdict_path(tier)
+    if not path.exists():
+        print(f"no verdict found at {path}")
+        print(f"run `python -m repro.validate run --{tier}` first")
+        return 2
+    verdict = Verdict.load(path)
+    print(f"== paper-fidelity verdict (tier: {verdict.tier}) ==")
+    for fv in verdict.figures:
+        print(_figure_line(fv))
+    print(_summary(verdict))
+    if verdict.status == "fail":
+        _print_failures(verdict)
+    return 0
+
+
+def _cmd_update_golden(args) -> int:
+    from .golden import update_golden
+
+    tier = _tier(args)
+    with _scoped_env(_runner_env(args)):
+        changes = update_golden(
+            tier, figures=args.figure or None,
+            expected_dir=Path(args.expected) if args.expected else None,
+        )
+    total = 0
+    for figure, changed in changes.items():
+        print(f"{figure}: {len(changed)} band change"
+              f"{'s' if len(changed) != 1 else ''}")
+        for line in changed:
+            print(f"  {line}")
+        total += len(changed)
+    print(f"update-golden ({tier}): {len(changes)} figures rewritten, "
+          f"{total} targets changed")
+    print("review the expected/*.json diff, then re-run "
+          f"`python -m repro.validate run --{tier}`")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .suite import load_suite_expected, measure_figure
+    from .suite import available_figures as _avail
+
+    tier = _tier(args)
+    figures = args.figure or _avail(tier)
+    with _scoped_env(_runner_env(args)):
+        for figure in figures:
+            if tier not in SUITE[figure].runners:
+                continue
+            expected = load_suite_expected(
+                figure, Path(args.expected) if args.expected else None
+            )
+            bands = expected.bands(tier) if expected is not None else {}
+            measured = measure_figure(figure, tier)
+            print(f"\n== {figure} — {SUITE[figure].title} ({tier}) ==")
+            for mid in sorted(set(bands) | set(measured)):
+                band = bands.get(mid)
+                value = measured.get(mid)
+                shown = "(not measured)" if value is None else f"{value!r}"
+                if band is None:
+                    print(f"  {mid}: {shown}  [no band]")
+                    continue
+                dev = band.deviation_pct(value) if value is not None else None
+                devs = f"  {dev:+.3f}%" if dev is not None else ""
+                ok = "ok" if value is not None and band.contains(value) else "OUT"
+                print(f"  {mid}: {shown} vs {band.describe()}{devs}  [{ok}]")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="Paper-fidelity regression gate for the PERT reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, runner_flags=True):
+        tier = p.add_mutually_exclusive_group()
+        tier.add_argument("--quick", action="store_true", default=True,
+                          help="CI tier: scaled-down points vs pinned goldens "
+                               "(default)")
+        tier.add_argument("--full", action="store_true",
+                          help="nightly tier: paper-scale points vs published "
+                               "numbers")
+        p.add_argument("--figure", action="append", metavar="ID",
+                       choices=sorted(SUITE),
+                       help="restrict to one figure (repeatable)")
+        p.add_argument("--expected", default=None, metavar="DIR",
+                       help="override the committed expected/ directory "
+                            "(tests use this)")
+        if runner_flags:
+            p.add_argument("-j", "--workers", type=int, default=None,
+                           metavar="N",
+                           help="worker processes for grid figures "
+                                "(default: $REPRO_WORKERS; 0 = serial)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="disable the on-disk result cache")
+            p.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="cache directory (default: $REPRO_CACHE_DIR "
+                                "or ~/.cache/repro)")
+            p.add_argument("--progress", action="store_true",
+                           help="log per-job runner progress")
+
+    run_p = sub.add_parser(
+        "run", help="run a tier, regenerate docs/RESULTS.md, gate on bands")
+    common(run_p)
+    run_p.add_argument("--out", default=None, metavar="PATH",
+                       help="verdict JSON path "
+                            "(default: <cache>/validation/verdict-<tier>.json)")
+    run_p.add_argument("--docs", default=None, metavar="PATH",
+                       help=f"results doc path (default: {DEFAULT_DOCS})")
+    run_p.add_argument("--no-docs", action="store_true",
+                       help="skip regenerating the results doc")
+    run_p.set_defaults(fn=_cmd_run)
+
+    rep_p = sub.add_parser("report", help="re-render the last verdict")
+    common(rep_p, runner_flags=False)
+    rep_p.add_argument("--verdict", default=None, metavar="PATH",
+                       help="verdict file to render (default: the tier's "
+                            "last `run` output)")
+    rep_p.set_defaults(fn=_cmd_report)
+
+    gold_p = sub.add_parser(
+        "update-golden",
+        help="re-pin golden targets after an intentional change")
+    common(gold_p)
+    gold_p.set_defaults(fn=_cmd_update_golden)
+
+    diff_p = sub.add_parser(
+        "diff", help="show every measured metric against its band")
+    common(diff_p)
+    diff_p.set_defaults(fn=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

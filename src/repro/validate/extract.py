@@ -1,0 +1,73 @@
+"""Metric-id helpers shared by the experiment modules' extraction hooks.
+
+Every experiment module exports ``validation_metrics(output)`` — a hook
+that flattens whatever its ``run()`` returns into a flat
+``{metric_id: float}`` mapping.  The helpers here keep the id grammar
+uniform across figures::
+
+    <scheme>.<metric>                      # single-point tables (Table 1)
+    <scheme>.<metric>@<key>=<value>        # one sweep axis (Figs. 6-9)
+    <scheme>.<metric>@<k1>=<v1>,<k2>=<v2>  # multi-axis points
+
+Ids must be deterministic (they key the committed ``expected/*.json``
+files), so numeric tag values go through :func:`fmt_num` — integral
+floats print as ints, everything else through ``repr``-shortest form —
+and rows are emitted in input order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["fmt_num", "metric_id", "rows_to_metrics"]
+
+
+def fmt_num(value) -> str:
+    """Deterministic compact rendering of a tag value for metric ids."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def metric_id(prefix: str, metric: str, tags: Mapping[str, object] = ()) -> str:
+    """Build one ``prefix.metric@k=v,...`` id from its parts."""
+    mid = f"{prefix}.{metric}" if prefix else metric
+    if tags:
+        point = ",".join(f"{k}={fmt_num(v)}" for k, v in tags.items())
+        mid = f"{mid}@{point}"
+    return mid
+
+
+def rows_to_metrics(
+    rows: Iterable[Mapping],
+    metrics: Sequence[str],
+    keys: Sequence[str] = (),
+    prefix_col: str = "scheme",
+) -> Dict[str, float]:
+    """Flatten table rows into ``{metric_id: value}``.
+
+    *keys* name the row columns identifying the sweep point (they become
+    the ``@k=v`` suffix); *prefix_col* names the column whose value
+    prefixes each id (usually the scheme).  Rows flagged ``failed`` are
+    skipped — their metrics then report as ``missing``, which fails the
+    gate with the job error visible in the run report rather than a NaN
+    comparison.
+    """
+    out: Dict[str, float] = {}
+    for row in rows:
+        if row.get("failed"):
+            continue
+        prefix = str(row[prefix_col]) if prefix_col else ""
+        tags = {k: row[k] for k in keys}
+        for m in metrics:
+            out[metric_id(prefix, m, tags)] = float(row[m])
+    return out
+
+
+def subset(metrics: Mapping[str, float], ids: Sequence[str]) -> List[str]:
+    """Expected ids absent from *metrics* (debugging aid for suites)."""
+    return [i for i in ids if i not in metrics]

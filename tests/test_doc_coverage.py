@@ -1,0 +1,84 @@
+"""Doc-coverage lint: public APIs of the tooling packages stay documented.
+
+Walks every module under ``repro.runner``, ``repro.snapshot``,
+``repro.obs`` and ``repro.validate`` and fails when a public symbol —
+module, module-level function/class named by ``__all__`` (or all
+non-underscore names defined in the module), or a public method/property
+defined on such a class — has no docstring.  This backs the
+documentation contract in README.md: the subsystem docs can link to the
+API surface and trust that every entry point explains itself.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+PACKAGES = ["repro.runner", "repro.snapshot", "repro.obs", "repro.validate"]
+
+
+def _iter_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        for info in pkgutil.iter_modules(pkg.__path__, prefix=f"{pkg_name}."):
+            yield importlib.import_module(info.name)
+
+
+def _public_symbols(module):
+    """(name, object) pairs for the module's own public callables/classes."""
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        obj = getattr(module, name, None)
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented where it is defined
+        yield name, obj
+
+
+def _class_members(cls):
+    """Public methods/properties defined (not inherited) on *cls*."""
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            yield name, member.fget
+        elif isinstance(member, (staticmethod, classmethod)):
+            yield name, member.__func__
+        elif inspect.isfunction(member):
+            yield name, member
+
+
+def _missing_docstrings():
+    missing = []
+    for module in _iter_modules():
+        if not (module.__doc__ or "").strip():
+            missing.append(module.__name__)
+        for name, obj in _public_symbols(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                for mname, fn in _class_members(obj):
+                    if not (getattr(fn, "__doc__", None) or "").strip():
+                        missing.append(f"{module.__name__}.{name}.{mname}")
+    return missing
+
+
+def test_public_api_has_docstrings():
+    missing = _missing_docstrings()
+    assert not missing, (
+        f"{len(missing)} public symbols lack docstrings:\n  "
+        + "\n  ".join(sorted(missing))
+    )
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+def test_packages_importable(pkg_name):
+    """The audited packages import cleanly on their own."""
+    assert importlib.import_module(pkg_name) is not None

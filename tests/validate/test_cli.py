@@ -1,0 +1,123 @@
+"""End-to-end CLI tests for ``python -m repro.validate``.
+
+Exercises the real gate on fig5 (the analytic PERT response curve — the
+one suite entry with no simulation behind it, so these stay fast): a
+clean run passes and regenerates the results doc byte-identically, and a
+deliberately perturbed expected band makes the same run exit non-zero
+naming the offending figure.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.validate.__main__ import main
+from repro.validate.suite import EXPECTED_DIR
+from repro.validate.verdict import Verdict
+
+
+@pytest.fixture
+def fig5_expected(tmp_path):
+    """Copy the committed fig5 bands into an isolated expected dir."""
+    exp_dir = tmp_path / "expected"
+    exp_dir.mkdir()
+    shutil.copy(EXPECTED_DIR / "fig5.json", exp_dir / "fig5.json")
+    return exp_dir
+
+
+def _run(tmp_path, exp_dir, extra=()):
+    out = tmp_path / "verdict.json"
+    docs = tmp_path / "RESULTS.md"
+    code = main([
+        "run", "--quick", "--figure", "fig5",
+        "--expected", str(exp_dir),
+        "--out", str(out), "--docs", str(docs), *extra,
+    ])
+    return code, out, docs
+
+
+def test_clean_run_passes_and_writes_artifacts(tmp_path, fig5_expected, capsys):
+    code, out, docs = _run(tmp_path, fig5_expected)
+    assert code == 0
+    assert "overall: pass" in capsys.readouterr().out
+    verdict = Verdict.load(out)
+    assert verdict.tier == "quick"
+    assert verdict.status == "pass"
+    assert [f.figure for f in verdict.figures] == ["fig5"]
+    assert "Figure 5" in docs.read_text(encoding="utf-8")
+
+
+def test_results_doc_regenerates_byte_identically(tmp_path, fig5_expected):
+    code, _, docs = _run(tmp_path, fig5_expected)
+    assert code == 0
+    first = docs.read_bytes()
+    code, _, docs = _run(tmp_path, fig5_expected)
+    assert code == 0
+    assert docs.read_bytes() == first
+
+
+def test_perturbed_band_fails_naming_the_figure(tmp_path, fig5_expected, capsys):
+    path = fig5_expected / "fig5.json"
+    data = json.loads(path.read_text(encoding="utf-8"))
+    band = data["tiers"]["quick"]["metrics"]["p@delay_ms=10"]
+    band["target"] = band["target"] + 0.06  # well outside abs+rel tolerance
+    path.write_text(json.dumps(data), encoding="utf-8")
+
+    code, out, _ = _run(tmp_path, fig5_expected)
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "VALIDATION FAILED: fig5" in captured
+    assert "p@delay_ms=10" in captured
+    assert Verdict.load(out).status == "fail"
+
+
+def test_missing_paper_metric_fails_as_missing(tmp_path, fig5_expected, capsys):
+    path = fig5_expected / "fig5.json"
+    data = json.loads(path.read_text(encoding="utf-8"))
+    data["tiers"]["quick"]["metrics"]["p@delay_ms=999"] = {
+        "target": 0.5, "abs_tol": 0.1, "source": "paper",
+    }
+    path.write_text(json.dumps(data), encoding="utf-8")
+
+    code, out, _ = _run(tmp_path, fig5_expected)
+    assert code == 1
+    assert "not measured" in capsys.readouterr().out
+    verdict = Verdict.load(out)
+    statuses = {c.metric: c.status for c in verdict.figures[0].checks}
+    assert statuses["p@delay_ms=999"] == "missing"
+
+
+def test_no_docs_flag_skips_results_doc(tmp_path, fig5_expected):
+    code, _, docs = _run(tmp_path, fig5_expected, extra=("--no-docs",))
+    assert code == 0
+    assert not docs.exists()
+
+
+def test_report_exits_2_without_a_verdict(tmp_path, capsys):
+    code = main(["report", "--verdict", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "no verdict found" in capsys.readouterr().out
+
+
+def test_report_renders_saved_verdict(tmp_path, fig5_expected, capsys):
+    _, out, _ = _run(tmp_path, fig5_expected)
+    capsys.readouterr()
+    code = main(["report", "--verdict", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "paper-fidelity verdict" in captured
+    assert "fig5" in captured
+
+
+def test_experiments_report_delegates_to_validate(tmp_path, monkeypatch, capsys):
+    """`python -m repro.experiments report` points at the validate verdict."""
+    from repro.experiments.__main__ import main as experiments_main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "empty-cache"))
+    code = experiments_main(["report"])
+    assert code == 2  # no verdict yet -> validate's "run first" exit code
+    assert "python -m repro.validate run" in capsys.readouterr().out

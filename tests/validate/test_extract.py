@@ -1,0 +1,72 @@
+"""Metric-id grammar and row-flattening helpers (repro.validate.extract)."""
+
+from __future__ import annotations
+
+from repro.validate.extract import fmt_num, metric_id, rows_to_metrics, subset
+
+
+class TestFmtNum:
+    def test_integral_floats_print_as_ints(self):
+        assert fmt_num(8.0) == "8"
+        assert fmt_num(-2.0) == "-2"
+
+    def test_non_integral_floats_use_repr(self):
+        assert fmt_num(0.05) == "0.05"
+        assert fmt_num(2.5) == "2.5"
+
+    def test_bools_and_strings(self):
+        assert fmt_num(True) == "true"
+        assert fmt_num("pert") == "pert"
+        assert fmt_num(12) == "12"
+
+
+class TestMetricId:
+    def test_plain(self):
+        assert metric_id("pert", "jain") == "pert.jain"
+
+    def test_no_prefix(self):
+        assert metric_id("", "p", {"delay_ms": 10.0}) == "p@delay_ms=10"
+
+    def test_tags_preserve_order(self):
+        assert (
+            metric_id("pert", "q", {"bw": 8e6 / 1e6, "rtt": 0.05})
+            == "pert.q@bw=8,rtt=0.05"
+        )
+
+
+class TestRowsToMetrics:
+    ROWS = [
+        {"scheme": "pert", "bandwidth_mbps": 8.0, "norm_queue": 0.1,
+         "drop_rate": 0.0},
+        {"scheme": "vegas", "bandwidth_mbps": 8.0, "norm_queue": 0.2,
+         "drop_rate": 0.001},
+    ]
+
+    def test_flatten(self):
+        out = rows_to_metrics(
+            self.ROWS, metrics=("norm_queue", "drop_rate"),
+            keys=("bandwidth_mbps",),
+        )
+        assert out["pert.norm_queue@bandwidth_mbps=8"] == 0.1
+        assert out["vegas.drop_rate@bandwidth_mbps=8"] == 0.001
+        assert len(out) == 4
+
+    def test_failed_rows_skipped(self):
+        rows = [dict(self.ROWS[0]), dict(self.ROWS[1], failed=True)]
+        out = rows_to_metrics(rows, metrics=("norm_queue",),
+                              keys=("bandwidth_mbps",))
+        assert "vegas.norm_queue@bandwidth_mbps=8" not in out
+        assert len(out) == 1
+
+    def test_custom_prefix_col(self):
+        rows = [{"case": "case1", "flow_level": 0.2, "queue_level": 0.8}]
+        out = rows_to_metrics(rows, metrics=("flow_level", "queue_level"),
+                              prefix_col="case")
+        assert out == {"case1.flow_level": 0.2, "case1.queue_level": 0.8}
+
+    def test_subset_reports_absent_ids(self):
+        out = rows_to_metrics(self.ROWS, metrics=("norm_queue",),
+                              keys=("bandwidth_mbps",))
+        assert subset(out, ["pert.norm_queue@bandwidth_mbps=8",
+                            "pert.norm_queue@bandwidth_mbps=99"]) \
+            == ["pert.norm_queue@bandwidth_mbps=99"]

@@ -1,0 +1,50 @@
+"""update-golden reconciliation rules (repro.validate.golden)."""
+
+from __future__ import annotations
+
+from repro.validate.bands import Band, GOLDEN_ABS_TOL, GOLDEN_REL_TOL
+from repro.validate.golden import _reconcile
+
+
+def test_new_metric_gets_default_golden_band():
+    new, changed = _reconcile({}, {"pert.q": 0.14})
+    assert new["pert.q"] == Band(target=0.14, abs_tol=GOLDEN_ABS_TOL,
+                                 rel_tol=GOLDEN_REL_TOL, source="golden")
+    assert changed == ["+ pert.q"]
+
+
+def test_golden_target_replaced_tolerances_kept():
+    old = {"pert.q": Band(target=0.1, abs_tol=0.01, rel_tol=0.05,
+                          note="hand-widened")}
+    new, changed = _reconcile(old, {"pert.q": 0.2})
+    band = new["pert.q"]
+    assert band.target == 0.2
+    assert band.abs_tol == 0.01 and band.rel_tol == 0.05
+    assert band.note == "hand-widened"
+    assert changed == ["~ pert.q: 0.1 -> 0.2"]
+
+
+def test_unchanged_golden_reports_no_change():
+    old = {"pert.q": Band(target=0.14, rel_tol=1e-6)}
+    new, changed = _reconcile(old, {"pert.q": 0.14})
+    assert new["pert.q"].target == 0.14
+    assert changed == []
+
+
+def test_paper_band_kept_verbatim():
+    old = {"pert.jain": Band(target=0.99, rel_tol=0.3, source="paper",
+                             known_gap=True)}
+    new, changed = _reconcile(old, {"pert.jain": 0.42})
+    assert new["pert.jain"] is old["pert.jain"]
+    assert changed == []
+
+
+def test_unmeasured_golden_dropped_unmeasured_paper_kept():
+    old = {
+        "gone.golden": Band(target=1.0, source="golden"),
+        "gone.paper": Band(max=0.5, source="paper"),
+    }
+    new, changed = _reconcile(old, {})
+    assert "gone.golden" not in new
+    assert new["gone.paper"] == old["gone.paper"]
+    assert changed == ["- gone.golden"]

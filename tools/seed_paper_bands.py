@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Seed the paper-sourced bands in ``src/repro/validate/expected/``.
+
+One-shot editorial tool: writes the ``source: "paper"`` bands — published
+numbers from Bhandarkar et al. (Table 1, Figures 5 and 13) and the
+paper's qualitative claims encoded as min/max bounds — into the per-figure
+expected files, preserving any golden bands already present.  Golden
+(repro-pinned) targets are managed separately by
+``python -m repro.validate update-golden``; rerunning this script is only
+needed when the *paper* interpretation in docs/VALIDATION.md changes.
+
+Usage::
+
+    PYTHONPATH=src python tools/seed_paper_bands.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.validate.bands import Band  # noqa: E402
+from repro.validate.suite import SUITE, expected_path, load_suite_expected  # noqa: E402
+from repro.validate.verdict import ExpectedFigure, write_expected  # noqa: E402
+
+
+def paper(target=None, *, abs_tol=0.0, rel_tol=0.0, min=None, max=None,
+          known_gap=False, note=""):
+    return Band(target=target, abs_tol=abs_tol, rel_tol=rel_tol, min=min,
+                max=max, source="paper", known_gap=known_gap, note=note)
+
+
+def fig5_bands() -> Dict[str, Band]:
+    """Figure 5 response curve: analytic, so paper targets are exact."""
+    curve = {0: 0.0, 2.5: 0.0, 5: 0.0, 7.5: 0.025, 10: 0.05, 12.5: 0.2875,
+             15: 0.525, 17.5: 0.7625, 20: 1.0, 22.5: 1.0, 25: 1.0}
+    note = "gentle-RED curve, T_min=5ms T_max=10ms p_max=0.05 (Fig. 5)"
+    return {
+        f"p@delay_ms={k:g}": paper(v, abs_tol=1e-9, rel_tol=1e-6, note=note)
+        for k, v in curve.items()
+    }
+
+
+def fig13_bands() -> Dict[str, Band]:
+    """Figure 13: stability pattern and the δ_min ≈ 0.1 s anchor."""
+    out = {
+        "min_delta_s@n_minus=40": paper(
+            0.1, rel_tol=0.2, note="Fig. 13(a): δ_min ≈ 0.1 s at N⁻ = 40"),
+        "min_delta_s@n_minus=50": paper(
+            max=0.1, note="Fig. 13(a): δ_min monotonically decreasing"),
+    }
+    for rtt_ms, stable in ((100, 1.0), (160, 1.0), (171, 0.0)):
+        verdict = "stable" if stable else "unstable"
+        out[f"stable@rtt_ms={rtt_ms}"] = paper(
+            stable, note=f"Fig. 13(b-d): {verdict} at R = {rtt_ms} ms")
+    return out
+
+
+def table1_bands() -> Dict[str, Band]:
+    """Table 1 published Q/p/U/F values with documented tolerances."""
+    out: Dict[str, Band] = {}
+    # (scheme, Q, U, F); p is banded as an upper bound — the published
+    # drop probabilities are O(1e-4..1e-6) where run-length noise
+    # dominates any point target.
+    rows = [
+        ("pert", 0.28, 0.9381, 0.86),
+        ("sack-droptail", 0.42, 0.9377, 0.44),
+        ("sack-red-ecn", 0.41, 0.9390, 0.51),
+        ("vegas", 0.07, 0.9999, 0.98),
+    ]
+    p_max = {"pert": 1e-4, "sack-droptail": 5e-3, "sack-red-ecn": 5e-3,
+             "vegas": 1e-5}
+    for scheme, q, u, f in rows:
+        out[f"{scheme}.norm_queue"] = paper(
+            q, rel_tol=0.35, note="Table 1 Q")
+        out[f"{scheme}.drop_rate"] = paper(
+            max=p_max[scheme], note="Table 1 p (order-of-magnitude bound)")
+        out[f"{scheme}.utilization"] = paper(
+            u, rel_tol=0.06, note="Table 1 U")
+        gap = scheme == "pert"
+        out[f"{scheme}.jain"] = paper(
+            f, rel_tol=0.30, known_gap=gap,
+            note="Table 1 F" + (
+                "; PERT RTT-fairness not fully reproduced at scaled "
+                "bandwidth (see docs/VALIDATION.md)" if gap else ""))
+    return out
+
+
+def fig2_bands() -> Dict[str, Band]:
+    """Fig. 2 claim: queue-level fraction well above flow-level."""
+    out: Dict[str, Band] = {}
+    for case in ("case1", "case2", "case3", "case4", "case5", "case6"):
+        out[f"{case}.queue_level"] = paper(
+            min=0.5, note="Fig. 2: queue-level high→loss fraction ~0.6-0.9")
+        out[f"{case}.flow_level"] = paper(
+            max=0.5, note="Fig. 2: flow-level fraction ~0.1-0.4")
+    return out
+
+
+def fig3_bands() -> Dict[str, Band]:
+    """Fig. 3 claim: srtt_0.99 dominates; Vegas best classic."""
+    return {
+        "srtt_0.99.efficiency": paper(
+            min=0.6, note="Fig. 3: srtt_0.99 high efficiency"),
+        "srtt_0.99.false_pos": paper(
+            max=0.4, note="Fig. 3: srtt_0.99 low false positives"),
+        "srtt_0.99.false_neg": paper(
+            max=0.4, note="Fig. 3: srtt_0.99 low false negatives"),
+        "vegas.efficiency": paper(
+            min=0.4, note="Fig. 3: Vegas best of the classic predictors"),
+    }
+
+
+def fig4_bands() -> Dict[str, Band]:
+    return {
+        "false_positives.below_half_fraction": paper(
+            min=0.5,
+            note="Fig. 4: false-positive mass mostly below half occupancy"),
+    }
+
+
+def fig6_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for bw in (1, 2, 4, 8, 16, 32):
+        at = f"@bandwidth_mbps={bw}"
+        out[f"pert.drop_rate{at}"] = paper(
+            max=0.01, note="Fig. 6: proactive schemes keep ~zero loss")
+        out[f"sack-red-ecn.drop_rate{at}"] = paper(
+            max=0.01, note="Fig. 6: proactive schemes keep ~zero loss")
+        out[f"pert.jain{at}"] = paper(
+            min=0.8, note="Fig. 6: PERT fairness stays near 1")
+        out[f"sack-droptail.norm_queue{at}"] = paper(
+            min=0.3, note="Fig. 6: SACK/DropTail queue stays high")
+        if bw >= 4:
+            out[f"pert.utilization{at}"] = paper(
+                min=0.8,
+                note="Fig. 6: PERT utilization dips only at small buffers")
+    return out
+
+
+def fig7_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for rtt_ms in (20, 40, 60, 120, 240, 400):
+        at = f"@rtt_ms={rtt_ms}"
+        out[f"pert.drop_rate{at}"] = paper(
+            max=0.01, note="Fig. 7: PERT drop rate tracks RED-ECN (~0)")
+        out[f"pert.jain{at}"] = paper(
+            min=0.7, note="Fig. 7: fairness stays high across RTTs")
+        out[f"pert.utilization{at}"] = paper(
+            min=0.6, note="Fig. 7: utilization high, dipping at extreme RTTs")
+    return out
+
+
+def fig8_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for n in (1, 2, 5, 10, 20, 40, 80):
+        at = f"@n_fwd={n}"
+        out[f"pert.drop_rate{at}"] = paper(
+            max=0.02, note="Fig. 8: PERT drops track RED-ECN as flows grow")
+        out[f"pert.jain{at}"] = paper(
+            min=0.8, note="Fig. 8: Jain index high even at large flow counts")
+        out[f"sack-droptail.norm_queue{at}"] = paper(
+            min=0.3, note="Fig. 8: droptail queue high throughout")
+    return out
+
+
+def fig9_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for n in (2, 4, 8, 16, 32):
+        at = f"@web_sessions={n}"
+        out[f"pert.drop_rate{at}"] = paper(
+            max=0.01, note="Fig. 9: PERT keeps losses ~zero at every web load")
+        out[f"pert.norm_queue{at}"] = paper(
+            max=0.5, note="Fig. 9: PERT keeps the average queue low")
+        out[f"pert.jain{at}"] = paper(
+            min=0.7, note="Fig. 9: long-flow fairness stays high")
+    return out
+
+
+def fig11_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for hop in ("R1-R2", "R2-R3", "R3-R4", "R4-R5", "R5-R6"):
+        at = f"@hop={hop}"
+        out[f"pert.drop_rate{at}"] = paper(
+            max=1e-3, note="Fig. 11: PERT ~zero drops on every hop")
+        out[f"pert.norm_queue{at}"] = paper(
+            max=0.5, note="Fig. 11: PERT low queue on every hop")
+        out[f"pert.utilization{at}"] = paper(
+            min=0.7, note="Fig. 11: utilization like SACK/RED-ECN")
+    return out
+
+
+def fig12_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for e in range(4):
+        out[f"pert.share_error@epoch={e}"] = paper(
+            max=0.25,
+            note="Fig. 12: cohorts re-converge to equal shares each epoch")
+    return out
+
+
+def fig12b_bands() -> Dict[str, Band]:
+    return {
+        "pert.concede_s": paper(
+            max=10.0, note="§4.7: responsive flows concede quickly"),
+        "pert.reclaim_s": paper(
+            max=10.0, note="§4.7: bandwidth reclaimed promptly"),
+        "pert.drops_squeeze": paper(
+            max=5.0, note="§4.7: PERT concedes with near-zero loss"),
+    }
+
+
+def fig14_bands() -> Dict[str, Band]:
+    out: Dict[str, Band] = {}
+    for rtt_ms in (20, 60, 120, 240):
+        at = f"@rtt_ms={rtt_ms}"
+        out[f"pert-pi.drop_rate{at}"] = paper(
+            max=0.01, note="Fig. 14: PERT-PI very effective at avoiding drops")
+        out[f"pert-pi.utilization{at}"] = paper(
+            min=0.7, note="Fig. 14: PERT-PI utilization matches router PI/ECN")
+        out[f"pert-pi.jain{at}"] = paper(
+            min=0.7, note="Fig. 14: fairness comparable to PI/ECN")
+    return out
+
+
+#: figure id -> {tier: paper bands}; fig5/fig13 run unscaled at both tiers,
+#: so their paper bands apply to both.
+PAPER_BANDS = {
+    "fig2": {"full": fig2_bands()},
+    "fig3": {"full": fig3_bands()},
+    "fig4": {"full": fig4_bands()},
+    "fig5": {"quick": fig5_bands(), "full": fig5_bands()},
+    "fig6": {"full": fig6_bands()},
+    "fig7": {"full": fig7_bands()},
+    "fig8": {"full": fig8_bands()},
+    "fig9": {"full": fig9_bands()},
+    "table1": {"full": table1_bands()},
+    "fig11": {"full": fig11_bands()},
+    "fig12": {"full": fig12_bands()},
+    "fig12b": {"full": fig12b_bands()},
+    "fig13": {"quick": fig13_bands(), "full": fig13_bands()},
+    "fig14": {"full": fig14_bands()},
+}
+
+
+def main() -> None:
+    for figure, per_tier in PAPER_BANDS.items():
+        existing = load_suite_expected(figure)
+        if existing is None:
+            existing = ExpectedFigure(figure=figure,
+                                      title=SUITE[figure].title, tiers={})
+        existing.title = SUITE[figure].title
+        for tier, bands in per_tier.items():
+            merged = {
+                mid: band
+                for mid, band in existing.bands(tier).items()
+                if band.source == "golden"
+            }
+            merged.update(bands)
+            existing.tiers[tier] = merged
+        path = write_expected(existing, expected_path(figure))
+        n = sum(len(b) for b in per_tier.values())
+        print(f"{figure}: {n} paper bands -> {path}")
+
+
+if __name__ == "__main__":
+    main()
