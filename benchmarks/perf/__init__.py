@@ -8,9 +8,17 @@ Three benchmarks cover the three performance-critical layers:
   paper's dumbbell workload per scheme (events/s and bottleneck
   packets/s), the number that multiplies every figure sweep.
 * ``fluid.dde`` — RK4 step rate of the Section 5 PERT/RED fluid model.
+* ``fluid.dde_batch`` — the vectorized sweep integrator: a whole RTT
+  grid of PERT/RED models advanced in lockstep via
+  :func:`repro.fluid.pert_red.simulate_batch`, reported as aggregate
+  member-steps/s plus the speedup over the equivalent scalar loop.
 * ``dumbbell.warmstart`` — warm-started sweep fan-out: one warm-up
   snapshot measured at four durations vs four cold runs, plus the raw
   capture/restore throughput of the checkpoint body (``repro.snapshot``).
+
+The payload records which event-engine backend ran the suite (the
+``engine`` key, resolved from ``REPRO_ENGINE``); numbers from different
+backends are not comparable.
 
 Run ``PYTHONPATH=src python -m benchmarks.perf`` from the repo root to
 regenerate ``BENCH_sim.json`` (the committed perf trajectory, diffed
@@ -31,7 +39,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 #: bump when the JSON layout changes (CI diffs the schema)
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 
 #: repo root (benchmarks/perf/__init__.py -> two parents up)
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -244,8 +252,51 @@ def bench_fluid(duration: float = 40.0, dt: float = 1e-3,
     }
 
 
+def bench_fluid_batch(batch: int = 16, duration: float = 20.0,
+                      dt: float = 1e-3, repeat: int = 3) -> Dict:
+    """Vectorized RTT-sweep rate of the PERT/RED fluid model.
+
+    Integrates *batch* models (an RTT grid spanning the Figure 13
+    stability boundary) in lockstep and reports aggregate member-steps
+    per second, plus the measured speedup over running the same sweep
+    through the scalar integrator one model at a time (the speedup is
+    timed once — it is a ratio of two long runs, not a noise-sensitive
+    single number).
+    """
+    _ensure_src_on_path()
+    from repro.fluid.pert_red import PertRedFluidModel, simulate_batch
+
+    models = [
+        PertRedFluidModel(rtt=0.08 + 0.006 * i) for i in range(batch)
+    ]
+    n_steps = int(round(duration / dt))
+
+    def _once() -> float:
+        t0 = time.perf_counter()
+        simulate_batch(models, duration, dt=dt)
+        return time.perf_counter() - t0
+
+    best = min(_once() for _ in range(repeat))
+    t0 = time.perf_counter()
+    for m in models:
+        m.simulate(duration, dt=dt)
+    scalar_seconds = time.perf_counter() - t0
+    return {
+        "params": {"batch": batch, "duration": duration, "dt": dt,
+                   "repeat": repeat},
+        "steps": n_steps * batch,
+        "best_seconds": best,
+        "steps_per_sec": n_steps * batch / best,
+        "scalar_seconds": scalar_seconds,
+        "batch_speedup": scalar_seconds / best,
+    }
+
+
 def run_suite(quick: bool = False, repeat: int = 3) -> Dict:
     """Run every benchmark; returns the ``BENCH_sim.json`` payload."""
+    _ensure_src_on_path()
+    from repro.sim.engine import get_engine_class
+
     if quick:
         engine = bench_engine(n_events=50_000, chains=100, repeat=repeat)
         dumbbell = bench_dumbbell(repeat=repeat, **DUMBBELL_KWARGS_QUICK)
@@ -254,14 +305,17 @@ def run_suite(quick: bool = False, repeat: int = 3) -> Dict:
             **DUMBBELL_KWARGS_QUICK,
         )
         fluid = bench_fluid(duration=10.0, repeat=repeat)
+        fluid_batch = bench_fluid_batch(batch=8, duration=5.0, repeat=repeat)
     else:
         engine = bench_engine(repeat=repeat)
         dumbbell = bench_dumbbell(repeat=repeat)
         warmstart = bench_warmstart(repeat=repeat)
         fluid = bench_fluid(repeat=repeat)
+        fluid_batch = bench_fluid_batch(repeat=repeat)
     benchmarks = {
         "engine.churn": engine,
         "fluid.dde": fluid,
+        "fluid.dde_batch": fluid_batch,
         "dumbbell.warmstart": warmstart,
     }
     for scheme, entry in dumbbell.items():
@@ -270,6 +324,7 @@ def run_suite(quick: bool = False, repeat: int = 3) -> Dict:
         "schema": SCHEMA,
         "quick": quick,
         "python": "%d.%d.%d" % sys.version_info[:3],
+        "engine": get_engine_class().__name__,
         "benchmarks": benchmarks,
     }
 

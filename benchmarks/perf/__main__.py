@@ -34,6 +34,8 @@ def main(argv=None) -> int:
         if "fanout_speedup" in entry:
             line += (f"  ({entry['fanout_speedup']:.2f}x fan-out, "
                      f"{entry['snapshot_bytes']:,} B snapshot)")
+        if "batch_speedup" in entry:
+            line += f"  ({entry['batch_speedup']:.2f}x vs scalar loop)"
         print(line)
     path = write_results(results, args.out)
     print(f"wrote {path}")

@@ -1,8 +1,8 @@
 """Fluid-flow models and stability theory (paper Sections 5-6)."""
 
-from .dde import DdeSolution, integrate_dde
+from .dde import DdeBatchSolution, DdeSolution, integrate_dde, integrate_dde_batch
 from .pert_pi import PertPiFluidModel
-from .pert_red import PertRedFluidModel
+from .pert_red import PertRedFluidModel, simulate_batch
 from .spectrum import (
     pert_red_linearization,
     pert_red_rightmost_root,
@@ -10,6 +10,7 @@ from .spectrum import (
     rightmost_root,
 )
 from .stability import (
+    classify_trajectories,
     equilibrium,
     find_stability_boundary,
     k_lpf,
@@ -25,7 +26,11 @@ from .tcp_red import TcpRedFluidModel
 
 __all__ = [
     "integrate_dde",
+    "integrate_dde_batch",
     "DdeSolution",
+    "DdeBatchSolution",
+    "simulate_batch",
+    "classify_trajectories",
     "PertRedFluidModel",
     "TcpRedFluidModel",
     "PertPiFluidModel",

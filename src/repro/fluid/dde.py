@@ -10,6 +10,19 @@ states by linear interpolation in the stored solution history — the same
 method-of-steps approach Matlab's ``dde23`` uses, simplified to a fixed
 step.  Before ``t0`` the history is the constant initial state, matching
 the paper's simulations which start from a constant initial point.
+
+Two integration entry points share the grid and arithmetic:
+
+* :func:`integrate_dde` — one system, scalar time stepping; history
+  lookups use O(1) uniform-grid index arithmetic (the grid is built by
+  repeated ``t += dt``, so the arithmetic guess is corrected by a
+  one-ulp fix-up loop to land on exactly the interval ``searchsorted``
+  would pick).
+* :func:`integrate_dde_batch` — B independent systems advanced together
+  as ``(B, dim)`` array operations, each with its own delayed-time
+  queries.  Every elementwise operation mirrors the scalar path, so a
+  batch run is bit-identical to B scalar runs — the property
+  ``tests/fluid/test_dde_batch.py`` pins exactly.
 """
 
 from __future__ import annotations
@@ -18,7 +31,12 @@ from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DdeSolution", "integrate_dde"]
+__all__ = [
+    "DdeSolution",
+    "DdeBatchSolution",
+    "integrate_dde",
+    "integrate_dde_batch",
+]
 
 
 class DdeSolution:
@@ -54,8 +72,10 @@ class DdeSolution:
 class _History:
     """Growable solution history with constant pre-initial values."""
 
-    def __init__(self, t0: float, x0: np.ndarray, n_steps: int, dim: int):
+    def __init__(self, t0: float, x0: np.ndarray, n_steps: int, dim: int,
+                 dt: float):
         self.t0 = t0
+        self.dt = dt
         self.ts = np.empty(n_steps + 1)
         self.xs = np.empty((n_steps + 1, dim))
         self.ts[0] = t0
@@ -71,13 +91,24 @@ class _History:
         if ti <= self.t0:
             return self.xs[0]
         n = self.filled
-        ts = self.ts[:n]
-        last = ts[n - 1]
-        if ti >= last:
+        ts = self.ts
+        if ti >= ts[n - 1]:
             # RK4 sub-steps may probe marginally past the stored history;
             # hold the last value (error is O(dt) on a smooth solution).
             return self.xs[n - 1]
-        idx = int(np.searchsorted(ts, ti) - 1)
+        # O(1) uniform-grid lookup.  The grid is built by accumulated
+        # ``t += dt``, so ``(ti - t0) / dt`` can be off by one interval;
+        # the fix-up loops restore the exact invariant ``searchsorted``
+        # establishes: ts[idx] < ti <= ts[idx + 1].
+        idx = int((ti - self.t0) / self.dt)
+        if idx > n - 2:
+            idx = n - 2
+        elif idx < 0:
+            idx = 0
+        while idx > 0 and ts[idx] >= ti:
+            idx -= 1
+        while ts[idx + 1] < ti:
+            idx += 1
         frac = (ti - ts[idx]) / (ts[idx + 1] - ts[idx])
         return self.xs[idx] * (1 - frac) + self.xs[idx + 1] * frac
 
@@ -115,7 +146,7 @@ def integrate_dde(
         raise ValueError("t_span must be increasing")
     n_steps = int(round((t1 - t0) / dt))
     x = np.asarray(x0, dtype=float).copy()
-    hist = _History(t0, x, n_steps, x.size)
+    hist = _History(t0, x, n_steps, x.size, dt)
     t = t0
     for _ in range(n_steps):
         if method == "euler":
@@ -129,3 +160,151 @@ def integrate_dde(
         t += dt
         hist.append(t, x)
     return DdeSolution(hist.ts[: hist.filled], hist.xs[: hist.filled])
+
+
+# ----------------------------------------------------------------------
+# batched integration: B independent systems as (B, dim) array ops
+# ----------------------------------------------------------------------
+class DdeBatchSolution:
+    """Dense output of a batched DDE integration.
+
+    Attributes
+    ----------
+    t:
+        1-D array of time points (uniform grid, shared by the batch).
+    y:
+        3-D array, shape ``(len(t), batch, dim)``.
+    """
+
+    def __init__(self, t: np.ndarray, y: np.ndarray):
+        self.t = t
+        self.y = y
+
+    @property
+    def batch_size(self) -> int:
+        return self.y.shape[1]
+
+    def __len__(self) -> int:
+        return self.y.shape[1]
+
+    def __getitem__(self, b: int) -> DdeSolution:
+        """Member *b*'s trajectory as an ordinary :class:`DdeSolution`."""
+        return DdeSolution(self.t, self.y[:, b, :])
+
+    def component(self, i: int) -> np.ndarray:
+        """Component *i* of every member, shape ``(len(t), batch)``."""
+        return self.y[:, :, i]
+
+
+class _BatchHistory:
+    """Per-member delayed-state lookup over the shared uniform grid.
+
+    ``eval`` takes a ``(B,)`` vector of query times (or a scalar,
+    broadcast) and gathers each member's interpolated state — the same
+    guess-and-fix-up index arithmetic as :meth:`_History.eval`, applied
+    elementwise, with identical interpolation arithmetic so batch and
+    scalar runs agree bit for bit.
+    """
+
+    def __init__(self, t0: float, x0: np.ndarray, n_steps: int, dt: float):
+        batch, dim = x0.shape
+        self.t0 = t0
+        self.dt = dt
+        self.ts = np.empty(n_steps + 1)
+        self.xs = np.empty((n_steps + 1, batch, dim))
+        self.ts[0] = t0
+        self.xs[0] = x0
+        self.filled = 1
+        self._rows = np.arange(batch)
+
+    def append(self, t: float, x: np.ndarray) -> None:
+        self.ts[self.filled] = t
+        self.xs[self.filled] = x
+        self.filled += 1
+
+    def eval(self, ti) -> np.ndarray:
+        rows = self._rows
+        tq = np.broadcast_to(np.asarray(ti, dtype=float), rows.shape)
+        n = self.filled
+        if n == 1:
+            # only the pre-history exists: every query clamps to it
+            return self.xs[0].copy()
+        ts = self.ts
+        last = ts[n - 1]
+        idx = ((tq - self.t0) / self.dt).astype(np.intp)
+        np.clip(idx, 0, n - 2, out=idx)
+        # fix-up to the searchsorted invariant ts[idx] < tq <= ts[idx+1]
+        # (interior rows only; boundary rows are overwritten below, and
+        # the clamp above keeps their idx in range)
+        while True:
+            dec = (idx > 0) & (ts[idx] >= tq)
+            if not dec.any():
+                break
+            idx[dec] -= 1
+        while True:
+            inc = (idx < n - 2) & (ts[idx + 1] < tq) & (tq < last)
+            if not inc.any():
+                break
+            idx[inc] += 1
+        frac = (tq - ts[idx]) / (ts[idx + 1] - ts[idx])
+        out = (self.xs[idx, rows] * (1 - frac)[:, None]
+               + self.xs[idx + 1, rows] * frac[:, None])
+        lo = tq <= self.t0
+        if lo.any():
+            out[lo] = self.xs[0, rows[lo]]
+        hi = tq >= last
+        if hi.any():
+            out[hi] = self.xs[n - 1, rows[hi]]
+        return out
+
+
+def integrate_dde_batch(
+    rhs: Callable[[float, np.ndarray, Callable], np.ndarray],
+    x0: np.ndarray,
+    t_span: Tuple[float, float],
+    dt: float,
+    method: str = "rk4",
+) -> DdeBatchSolution:
+    """Advance B independent DDE systems together as array operations.
+
+    Parameters
+    ----------
+    rhs:
+        Callable ``rhs(t, X, history) -> (B, dim)`` where ``X`` is the
+        ``(B, dim)`` state block and ``history(t')`` accepts a scalar or
+        a ``(B,)`` vector of per-member query times, returning the
+        ``(B, dim)`` interpolated delayed states.
+    x0:
+        ``(B, dim)`` array of initial states (also the constant
+        pre-history of each member).
+
+    All members share the time grid; delays may differ per member via
+    vector-valued history queries.  The stepping arithmetic mirrors
+    :func:`integrate_dde` exactly, so the trajectory of member *b*
+    equals a scalar integration of that member bit for bit.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if method not in ("rk4", "euler"):
+        raise ValueError(f"unknown method {method!r}")
+    t0, t1 = t_span
+    if t1 <= t0:
+        raise ValueError("t_span must be increasing")
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 2:
+        raise ValueError("x0 must have shape (batch, dim)")
+    n_steps = int(round((t1 - t0) / dt))
+    hist = _BatchHistory(t0, x, n_steps, dt)
+    t = t0
+    for _ in range(n_steps):
+        if method == "euler":
+            x = x + dt * np.asarray(rhs(t, x, hist.eval))
+        else:
+            k1 = np.asarray(rhs(t, x, hist.eval))
+            k2 = np.asarray(rhs(t + dt / 2, x + dt / 2 * k1, hist.eval))
+            k3 = np.asarray(rhs(t + dt / 2, x + dt / 2 * k2, hist.eval))
+            k4 = np.asarray(rhs(t + dt, x + dt * k3, hist.eval))
+            x = x + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+        t += dt
+        hist.append(t, x)
+    return DdeBatchSolution(hist.ts[: hist.filled], hist.xs[: hist.filled])

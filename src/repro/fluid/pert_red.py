@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .dde import DdeSolution, integrate_dde
+from .dde import DdeBatchSolution, DdeSolution, integrate_dde, integrate_dde_batch
 
-__all__ = ["PertRedFluidModel"]
+__all__ = ["PertRedFluidModel", "simulate_batch"]
 
 
 @dataclass
@@ -140,3 +140,78 @@ class PertRedFluidModel:
         """Integrate the DDE from *x0* (paper Figure 13 uses (1, 1, 1))."""
         start = np.array(x0 if x0 is not None else (1.0, 1.0, 1.0), dtype=float)
         return integrate_dde(self.rhs, start, (0.0, duration), dt, method=method)
+
+
+# ----------------------------------------------------------------------
+# batched integration across a parameter sweep
+# ----------------------------------------------------------------------
+def simulate_batch(
+    models: Sequence[PertRedFluidModel],
+    duration: float,
+    dt: float = 1e-3,
+    x0=None,
+    method: str = "rk4",
+) -> DdeBatchSolution:
+    """Integrate many :class:`PertRedFluidModel` instances in lockstep.
+
+    All members share the time grid but may differ in every numeric
+    parameter, including the RTT (per-member delayed-time queries).  The
+    right-hand side evaluates the same arithmetic as
+    :meth:`PertRedFluidModel.rhs` elementwise, so member *b*'s trajectory
+    is bit-identical to ``models[b].simulate(duration, dt, ...)`` — this
+    is a throughput optimisation for stability sweeps (Figure 13's
+    parameter grids), not an approximation.
+
+    Structural options must be uniform across the batch: ``clamp`` and
+    ``approximate_self_delay`` flags must agree, and time-varying flow
+    counts (``n_of_t``) are not supported (the closure would have to be
+    evaluated per member anyway, forfeiting the vectorisation).
+
+    *x0* is either one ``(3,)`` start shared by all members or a
+    ``(B, 3)`` array; default ``(1, 1, 1)`` as in Figure 13.
+    """
+    if not models:
+        raise ValueError("need at least one model")
+    clamp = models[0].clamp
+    approx = models[0].approximate_self_delay
+    for m in models:
+        if m.clamp != clamp or m.approximate_self_delay != approx:
+            raise ValueError(
+                "batch members must share clamp/approximate_self_delay flags"
+            )
+        if m.n_of_t is not None:
+            raise ValueError("n_of_t models cannot be batch-integrated")
+    batch = len(models)
+    # Parameter vectors come from the scalar properties so batch and
+    # scalar runs start from exactly the same float64 constants.
+    r = np.array([m.rtt for m in models])
+    cap = np.array([m.capacity for m in models])
+    n_flows = np.array([float(m.n_flows) for m in models])
+    beta = np.array([m.beta_decrease for m in models])
+    t_min = np.array([m.t_min for m in models])
+    l_arr = np.array([m.l_pert for m in models])
+    k_arr = np.array([m.k_lpf for m in models])
+
+    def rhs(t: float, x: np.ndarray, history) -> np.ndarray:
+        xd = history(t - r)
+        w = x[:, 0]
+        tq = x[:, 1]
+        w_d = w if approx else xd[:, 0]
+        s_d = xd[:, 2]
+        p = l_arr * (s_d - t_min)
+        if clamp:
+            p = np.minimum(1.0, np.maximum(0.0, p))
+            w = np.maximum(w, 0.0)
+        dw = 1.0 / r - beta * p * w * w_d / r
+        dtq = n_flows * w / (r * cap) - 1.0
+        if clamp:
+            dtq = np.where((tq <= 0.0) & (dtq < 0.0), 0.0, dtq)
+        ds = k_arr * (x[:, 2] - tq)
+        return np.stack([dw, dtq, ds], axis=1)
+
+    start = np.array(x0 if x0 is not None else (1.0, 1.0, 1.0), dtype=float)
+    if start.ndim == 1:
+        start = np.broadcast_to(start, (batch, start.size))
+    elif start.shape[0] != batch:
+        raise ValueError(f"x0 has {start.shape[0]} rows for {batch} models")
+    return integrate_dde_batch(rhs, start, (0.0, duration), dt, method=method)

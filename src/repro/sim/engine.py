@@ -11,30 +11,85 @@ The simulator owns a master random seed; components derive independent
 :class:`random.Random` streams from it via :meth:`Simulator.stream` so that
 changing one traffic source's draws does not perturb another's.
 
+Engine backends
+---------------
+Two interchangeable backends implement the same scheduling contract:
+
+:class:`LegacySimulator`
+    The original tuple-heap engine: the heap stores
+    ``(time, seq, fn, args, event)`` 5-tuples.  Kept selectable forever as
+    the executable specification the differential suite
+    (``tests/differential``) checks the fast engine against.
+
+:class:`ArraySimulator` (default)
+    A flat-entry engine: the heap is a single flat array of uniform
+    shape-coded tuples — the dominant single-argument fire-and-forget
+    event carries its callback and payload word inline and dispatches
+    without building or unpacking a varargs tuple (see the class
+    docstring for the layout rationale, including why the slot-indexed
+    parallel-array variant measured slower).  It also exposes
+    :meth:`Simulator.advance_if_clear`, the hook the link layer uses to
+    drain back-to-back departures without touching the heap at all.
+    Both backends produce bit-identical event ordering, sequence
+    numbering, and ``events_processed`` counts.
+
+Instantiating :class:`Simulator` directly returns one of the two concrete
+backends, chosen by the ``REPRO_ENGINE`` environment variable
+(``array`` — the default — or ``legacy``), read lazily at construction
+time so tests can flip it per-instance.  Snapshots use a shared canonical
+state format (the legacy 5-tuple list), so a checkpoint captured under
+one engine restores under the other — see
+:func:`repro.snapshot.restore_bytes`.
+
 Performance notes
 -----------------
 The event list is the hottest data structure in the whole reproduction —
-every packet hop is at least two heap operations — so the heap stores
-``(time, seq, fn, args, event)`` tuples rather than bare :class:`Event`
-objects.  Tuple comparison happens in C and never reaches the third
-element (``seq`` is unique), which removes the per-comparison Python
-call that used to dominate profiles.  The ``event`` slot is ``None`` for
-callbacks scheduled through :meth:`Simulator.schedule_fire`, the
-fire-and-forget path used by the per-hop link machinery: those events
-cannot be cancelled, so no handle object is ever allocated for them.
-:meth:`Simulator.schedule` and :meth:`Simulator.schedule_at` are
-deliberately flat (no delegation between them) for the same reason.
+every packet hop is at least two heap operations.  Both engines keep the
+comparison key a ``(time, seq, ...)`` tuple prefix: tuple comparison
+happens in C and never reaches the third element (``seq`` is unique),
+which removes the per-comparison Python call that used to dominate
+profiles.  The array engine goes further: single-argument callbacks
+dispatch as a direct ``fn(arg)`` instead of ``fn(*args)``, no
+:class:`Event` handle is allocated unless the caller can cancel, and
+back-to-back link departures bypass the heap entirely via
+:meth:`Simulator.advance_if_clear`.
+:meth:`Simulator.schedule`, :meth:`Simulator.schedule_fire` and
+:meth:`Simulator.schedule_at` are deliberately flat (no delegation
+between them) for the same reason.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import random
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "LegacySimulator",
+    "ArraySimulator",
+    "SimulationError",
+    "get_engine_class",
+]
 
 _INF = float("inf")
+_NEG_INF = float("-inf")
+
+#: slots every backend shares and every snapshot carries (``_running`` and
+#: ``profiler`` are process-local and deliberately excluded; the event
+#: list itself travels under the canonical ``"_heap"`` key)
+_STATE_SLOTS = (
+    "now",
+    "seed",
+    "_seq",
+    "_live",
+    "events_processed",
+    "_stream_labels",
+    "_stream_counts",
+    "_streams",
+)
 
 
 class SimulationError(RuntimeError):
@@ -47,9 +102,9 @@ class Event:
     Events order by ``(time, seq)``; ``seq`` is a monotonically
     increasing counter that breaks ties deterministically.  Cancellation is
     lazy: the event is flagged and skipped when popped.  The heap itself
-    holds ``(time, seq, fn, args, event)`` tuples, so ``__lt__`` below
-    exists only for explicit comparisons in user code and tests — the hot
-    path never calls it.
+    never compares :class:`Event` objects (both engines key their heaps on
+    tuples), so ``__lt__`` below exists only for explicit comparisons in
+    user code and tests — the hot path never calls it.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
@@ -96,6 +151,13 @@ class Event:
 class Simulator:
     """Event-list simulator with deterministic ordering and seeded RNG.
 
+    ``Simulator(seed=...)`` is a virtual constructor: it returns an
+    instance of the backend selected by ``REPRO_ENGINE`` (``array`` by
+    default, ``legacy`` for the original tuple-heap engine).  All public
+    behaviour — scheduling, cancellation, run semantics, stream
+    derivation, snapshot state — is identical between backends; only the
+    internal event-list representation differs.
+
     Parameters
     ----------
     seed:
@@ -107,7 +169,6 @@ class Simulator:
     __slots__ = (
         "now",
         "seed",
-        "_heap",
         "_seq",
         "_live",
         "_running",
@@ -118,10 +179,14 @@ class Simulator:
         "profiler",
     )
 
+    def __new__(cls, *args, **kwargs):
+        if cls is Simulator:
+            cls = get_engine_class()
+        return object.__new__(cls)
+
     def __init__(self, seed: int = 1):
         self.now: float = 0.0
         self.seed = seed
-        self._heap: List[Tuple[float, int, Callable, tuple, Optional[Event]]] = []
         self._seq = 0
         self._live = 0  # non-cancelled, not-yet-fired events
         self._running = False
@@ -174,6 +239,123 @@ class Simulator:
         return label
 
     # ------------------------------------------------------------------
+    # shared scheduling helpers
+    # ------------------------------------------------------------------
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (``None`` is a no-op)."""
+        if event is not None:
+            event.cancel()
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled, not-yet-fired) events — O(1)."""
+        return self._live
+
+    def advance_if_clear(self, time: float) -> bool:
+        """Claim an inline dispatch slot at *time*; engine-dependent.
+
+        The batching hook behind the link layer's departure drain: when it
+        returns ``True``, the engine has advanced ``now`` to *time* and
+        consumed one sequence number and one ``events_processed`` count,
+        exactly as if the caller had scheduled a callback at *time* and
+        the run loop had just popped it — the caller must then invoke that
+        callback immediately, once.
+
+        The claim succeeds only when it is provably equivalent to going
+        through the heap: inside :meth:`run` (no ``max_events`` budget, no
+        profiler), *time* within the run horizon, and no pending heap
+        entry at or before *time* — any heap entry tied at *time* holds an
+        older sequence number and must fire first.  The legacy engine
+        never claims (it always returns ``False``), which keeps it the
+        plain executable specification the differential suite diffs the
+        array engine against.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def live_entries(self) -> List[Tuple[float, int, Callable, tuple, Optional[Event]]]:
+        """Live events as ``(time, seq, fn, args, event)`` 5-tuples.
+
+        Engine-neutral view of the event list for snapshot diagnostics and
+        integrity checks: cancelled-but-unpopped entries are excluded, and
+        ``event`` is ``None`` for fire-and-forget callbacks.  The returned
+        list is ordered by heap layout, not sorted; only its key multiset
+        is meaningful.
+        """
+        raise NotImplementedError
+
+    def _export_heap(self):
+        """Canonical (legacy-format) event list for ``__getstate__``."""
+        raise NotImplementedError
+
+    def __getstate__(self):
+        """Snapshot state: shared slots plus the canonical event list.
+
+        ``__slots__`` means default pickling would already enumerate the
+        slots, but two of them must not ride along: ``_running`` (a
+        snapshot taken from inside a callback would restore into a
+        simulator that refuses to run) and ``profiler`` (a wall-clock
+        observer holding process-local state).  Checkpointing mid-``run``
+        or with a profiler attached fails fast with a clear error instead
+        of producing a snapshot that lies.
+
+        The event list is exported under the canonical ``"_heap"`` key as
+        legacy-format 5-tuples regardless of engine, so a snapshot taken
+        under one backend restores under the other.  Cancelled-but-unpopped
+        entries are purged from the exported copy (the live event list is
+        untouched): lazy cancellation means a popped cancelled entry is
+        skipped without side effects, so the purge cannot change the
+        continuation — and it keeps a cancelled entry's possibly-
+        unpicklable callback from blocking the snapshot.  Pop order
+        depends only on the ``(time, seq)`` key multiset, so re-heapifying
+        the filtered list is exact.
+        """
+        from ..snapshot.errors import SnapshotError
+
+        if self._running:
+            raise SnapshotError(
+                "cannot snapshot a Simulator from inside run(); checkpoint "
+                "between run(until=...) chunks instead"
+            )
+        if self.profiler is not None:
+            raise SnapshotError(
+                "cannot snapshot: a profiler is attached to the simulator; "
+                "detach it (sim.profiler = None) around the snapshot"
+            )
+        state = {slot: getattr(self, slot) for slot in _STATE_SLOTS}
+        state["_heap"] = self._export_heap()
+        return state
+
+    def _restore_shared(self, state) -> None:
+        for slot in _STATE_SLOTS:
+            setattr(self, slot, state[slot])
+        self._running = False
+        self.profiler = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={self._live}>"
+
+
+class LegacySimulator(Simulator):
+    """The original tuple-heap engine (PR 1–5 behaviour, bit for bit).
+
+    The heap stores ``(time, seq, fn, args, event)`` tuples rather than
+    bare :class:`Event` objects; the ``event`` slot is ``None`` for
+    callbacks scheduled through :meth:`Simulator.schedule_fire`, the
+    fire-and-forget path used by the per-hop link machinery.  This engine
+    never batches (:meth:`advance_if_clear` is a constant ``False``), so
+    every dispatch goes through the heap — which is exactly what makes it
+    the reference implementation for the differential suite.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, seed: int = 1):
+        super().__init__(seed)
+        self._heap: List[Tuple[float, int, Callable, tuple, Optional[Event]]] = []
+
+    # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -212,6 +394,15 @@ class Simulator:
         self._live += 1
         heapq.heappush(self._heap, (self.now + delay, seq, fn, args, None))
 
+    def schedule_fire1(self, delay: float, fn: Callable[..., Any], arg: Any) -> None:
+        """Single-argument :meth:`schedule_fire` (the per-packet shape)."""
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"bad delay {delay!r}: must be finite and >= 0")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (self.now + delay, seq, fn, (arg,), None))
+
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule *fn(*args)* at absolute simulation *time*.
 
@@ -228,11 +419,6 @@ class Simulator:
         ev = Event(time, seq, fn, args, sim=self)
         heapq.heappush(self._heap, (time, seq, fn, args, ev))
         return ev
-
-    def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a previously scheduled event (``None`` is a no-op)."""
-        if event is not None:
-            event.cancel()
 
     # ------------------------------------------------------------------
     # execution
@@ -289,60 +475,309 @@ class Simulator:
             # counter mid-run, only harness code reads it afterwards.
             self.events_processed += processed
 
-    def pending(self) -> int:
-        """Number of live (non-cancelled, not-yet-fired) events — O(1)."""
-        return self._live
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def live_entries(self):
+        return [e for e in self._heap if e[4] is None or not e[4].cancelled]
+
+    def _export_heap(self):
+        live = self.live_entries()
+        if len(live) == len(self._heap):
+            return self._heap
+        heapq.heapify(live)
+        return live
+
+    def __setstate__(self, state):
+        self._restore_shared(state)
+        heap = list(state["_heap"])
+        # Re-heapify defensively: the canonical export is already a valid
+        # heap, but an array-engine export interleaved with purges (or a
+        # hand-edited snapshot) might not be, and pop order depends only
+        # on the key multiset.
+        heapq.heapify(heap)
+        self._heap = heap
+
+
+class ArraySimulator(Simulator):
+    """Flat-entry event engine with inline departure batching.
+
+    Layout
+    ------
+    The heap is a single flat array of uniform, C-compared tuples whose
+    shape *is* the dispatch code — no :class:`Event` handle, no varargs
+    tuple, and no per-entry indirection on the hot path:
+
+    ``(time, seq, fn, arg)``
+        The dominant shape: a fire-and-forget callback with exactly one
+        argument — both per-hop link callbacks and the AQM controller
+        ticks.  Dispatches as a direct ``fn(arg)``.
+    ``(time, seq, fn, args, event)``
+        Cancellable (:meth:`schedule` / :meth:`schedule_at`) and
+        variable-arity events, bit-compatible with the legacy engine's
+        entries; ``event`` is ``None`` for multi-argument
+        :meth:`schedule_fire` callbacks.
+
+    ``seq`` is globally unique, so tuple comparison never reaches the
+    third element and the two shapes share one heap; the run loop
+    discriminates on ``len(entry)`` (a constant-time C call).
+
+    Why not a slot-indexed payload table?  The textbook flat-array design
+    — heap entries ``(time, seq, slot)`` indexing preallocated parallel
+    ``fns``/``argv`` arrays with a free-list — was implemented and
+    benchmarked first: it ran ~7% *slower* end to end than the legacy
+    tuple heap on CPython 3.11, because two indexed list stores, two
+    indexed loads, and the free-list push/pop per event cost more than
+    the one small tuple allocation they avoid (CPython recycles tuples
+    from a freelist, and the specializing interpreter has already
+    flattened the ``fn(*args)`` dispatch the design was meant to bypass).
+    Carrying the payload word inline keeps the engine allocation-flat
+    *and* bookkeeping-free; the payload "arrays" and the heap are one and
+    the same.
+
+    Batching
+    --------
+    The real throughput lever is dispatching *without the heap*:
+    :meth:`advance_if_clear` lets the link layer chain back-to-back
+    departures inline — zero heap traffic, no run-loop iteration —
+    whenever doing so is provably identical to scheduling through the
+    heap.  The claim rules live in the base-class docstring; inline
+    dispatches are counted into ``events_processed`` so the total stays
+    bit-identical to the legacy engine's.
+    """
+
+    __slots__ = ("_heap", "_horizon", "_ninline")
+
+    def __init__(self, seed: int = 1):
+        super().__init__(seed)
+        self._heap: List[tuple] = []
+        # Inline-dispatch window: -inf outside run() (never claim), the
+        # run horizon inside an unbudgeted, unprofiled run().
+        self._horizon = _NEG_INF
+        self._ninline = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *fn(*args)* to run *delay* seconds from now.
+
+        *delay* must be finite and non-negative: a ``nan`` or ``inf``
+        delay would silently corrupt heap ordering (``nan`` compares
+        false against everything), so both raise :class:`SimulationError`.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"bad delay {delay!r}: must be finite and >= 0")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        ev = Event(time, seq, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, seq, fn, args, ev))
+        return ev
+
+    def schedule_fire(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule *fn(*args)* *delay* seconds from now, with no handle.
+
+        Fire-and-forget fast path for callers that never cancel: no
+        :class:`Event` object is allocated, so there is nothing to
+        cancel.  Ordering semantics are identical to :meth:`schedule` —
+        the callback still consumes a sequence number and fires in
+        schedule order on time ties.  The single-argument shape gets a
+        flat 4-tuple entry and direct dispatch.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"bad delay {delay!r}: must be finite and >= 0")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if len(args) == 1:
+            heapq.heappush(self._heap, (self.now + delay, seq, fn, args[0]))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, seq, fn, args, None))
+
+    def schedule_fire1(self, delay: float, fn: Callable[..., Any], arg: Any) -> None:
+        """Single-argument :meth:`schedule_fire` (the per-packet shape).
+
+        Skips the varargs tuple entirely: the argument rides inline in
+        the heap entry and dispatches as ``fn(arg)``.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"bad delay {delay!r}: must be finite and >= 0")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (self.now + delay, seq, fn, arg))
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *fn(*args)* at absolute simulation *time*.
+
+        *time* must be finite and not in the past; ``nan``/``inf`` raise
+        :class:`SimulationError` instead of corrupting the event list.
+        """
+        if not self.now <= time < _INF:
+            raise SimulationError(
+                f"bad time {time!r}: must be finite and >= now {self.now!r}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        ev = Event(time, seq, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, seq, fn, args, ev))
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            ``sim.now`` is left at ``until``.  ``None`` runs to exhaustion.
+        max_events:
+            Safety valve for tests; stop after this many events.  Setting
+            it disables inline batching so every dispatch is countable.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        profiler = self.profiler
+        heap = self._heap
+        heappop = heapq.heappop
+        horizon = until if until is not None else _INF
+        budget = max_events if max_events is not None else -1
+        if budget < 0 and profiler is None:
+            # Open the inline-dispatch window for advance_if_clear():
+            # batching is exact only when every dispatch is unbudgeted
+            # and unprofiled.
+            self._horizon = horizon
+        try:
+            while heap:
+                entry = heappop(heap)
+                if len(entry) == 4:
+                    time = entry[0]
+                    if time > horizon:
+                        heapq.heappush(heap, entry)
+                        break
+                    self.now = time
+                    self._live -= 1
+                    if profiler is None:
+                        entry[2](entry[3])
+                    else:
+                        profiler.dispatch(entry[2], (entry[3],))
+                else:
+                    ev = entry[4]
+                    if ev is not None and ev.cancelled:
+                        continue
+                    time = entry[0]
+                    if time > horizon:
+                        heapq.heappush(heap, entry)
+                        break
+                    self.now = time
+                    self._live -= 1
+                    if ev is not None:
+                        ev.fired = True
+                    if profiler is None:
+                        entry[2](*entry[3])
+                    else:
+                        profiler.dispatch(entry[2], entry[3])
+                processed += 1
+                if processed == budget:
+                    break
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+            self._horizon = _NEG_INF
+            # Inline dispatches claimed via advance_if_clear() count like
+            # any other event; batched outside the loop as before.
+            self.events_processed += processed + self._ninline
+            self._ninline = 0
+
+    def advance_if_clear(self, time: float) -> bool:
+        # See Simulator.advance_if_clear for the contract.  `time` beyond
+        # `_horizon` covers all three refusal modes at once: outside
+        # run() the window is -inf, and a budgeted or profiled run()
+        # never opens it.
+        if time > self._horizon:
+            return False
+        heap = self._heap
+        # A heap entry at or before `time` must fire first: every queued
+        # seq predates the one we are about to consume, so ties always
+        # block.
+        if heap and heap[0][0] <= time:
+            return False
+        self.now = time
+        self._seq += 1
+        self._ninline += 1
+        return True
 
     # ------------------------------------------------------------------
     # snapshot support
     # ------------------------------------------------------------------
-    def __getstate__(self):
-        """Pickle every slot except live, non-serializable handles.
+    def live_entries(self):
+        out = []
+        for entry in self._heap:
+            if len(entry) == 4:
+                out.append((entry[0], entry[1], entry[2], (entry[3],), None))
+            elif entry[4] is None or not entry[4].cancelled:
+                out.append(entry)
+        return out
 
-        ``__slots__`` means default pickling would already enumerate the
-        slots, but two of them must not ride along: ``_running`` (a
-        snapshot taken from inside a callback would restore into a
-        simulator that refuses to run) and ``profiler`` (a wall-clock
-        observer holding process-local state).  Checkpointing mid-``run``
-        or with a profiler attached fails fast with a clear error instead
-        of producing a snapshot that lies.
-
-        Cancelled-but-unpopped heap entries are purged from the pickled
-        copy (the live heap is untouched): lazy cancellation means a
-        popped cancelled entry is skipped without side effects, so the
-        purge cannot change the continuation — and it keeps a cancelled
-        entry's possibly-unpicklable callback from blocking the snapshot.
-        Pop order depends only on the ``(time, seq)`` key multiset, so
-        re-heapifying the filtered list is exact.
-        """
-        from ..snapshot.errors import SnapshotError
-
-        if self._running:
-            raise SnapshotError(
-                "cannot snapshot a Simulator from inside run(); checkpoint "
-                "between run(until=...) chunks instead"
-            )
-        if self.profiler is not None:
-            raise SnapshotError(
-                "cannot snapshot: a profiler is attached to the simulator; "
-                "detach it (sim.profiler = None) around the snapshot"
-            )
-        state = {
-            slot: getattr(self, slot)
-            for slot in Simulator.__slots__
-            if slot not in ("_running", "profiler")
-        }
-        live = [e for e in self._heap if e[4] is None or not e[4].cancelled]
+    def _export_heap(self):
+        live = self.live_entries()
         if len(live) != len(self._heap):
             heapq.heapify(live)
-            state["_heap"] = live
-        return state
+        return live
 
     def __setstate__(self, state):
-        for slot, value in state.items():
-            setattr(self, slot, value)
-        self._running = False
-        self.profiler = None
+        self._restore_shared(state)
+        self._horizon = _NEG_INF
+        self._ninline = 0
+        heap = []
+        for entry in state["_heap"]:
+            ev = entry[4]
+            if ev is not None:
+                if not ev.cancelled:
+                    heap.append(entry)
+                # _live in the shared state already excludes cancelled
+                # entries, so dropping them here keeps the counter exact.
+            elif len(entry[3]) == 1:
+                heap.append((entry[0], entry[1], entry[2], entry[3][0]))
+            else:
+                heap.append(entry)
+        heapq.heapify(heap)
+        self._heap = heap
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.6f} pending={self._live}>"
+
+#: recognised ``REPRO_ENGINE`` spellings → concrete class
+_ENGINE_ALIASES = {
+    "array": "ArraySimulator",
+    "v2": "ArraySimulator",
+    "": "ArraySimulator",  # unset/empty → default
+    "legacy": "LegacySimulator",
+    "tuple": "LegacySimulator",
+    "v1": "LegacySimulator",
+}
+
+
+def get_engine_class(name: Optional[str] = None) -> type:
+    """Resolve an engine name to its :class:`Simulator` subclass.
+
+    With ``name=None`` the ``REPRO_ENGINE`` environment variable decides
+    (read lazily on every call, so tests can flip it between
+    instantiations); unset or empty selects the array engine.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_ENGINE", "")
+    key = name.strip().lower()
+    cls_name = _ENGINE_ALIASES.get(key)
+    if cls_name is None:
+        raise SimulationError(
+            f"unknown engine {name!r} (REPRO_ENGINE): use 'array' or 'legacy'"
+        )
+    return globals()[cls_name]

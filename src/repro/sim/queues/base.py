@@ -126,12 +126,22 @@ class QueueDiscipline:
     # override ``enqueue``/``dequeue`` on individual instances to spy on
     # traffic — which needs an instance __dict__.
 
+    #: class-attribute fallback for snapshots written before the flag
+    #: existed: restored instances take the slow (always-correct) path
+    _plain_admit = False
+
     def __init__(self, capacity_pkts: int, capacity_bytes: Optional[int] = None):
         _maybe_warn_legacy_init(type(self))
         if capacity_pkts < 1:
             raise ValueError("queue capacity must be >= 1 packet")
         if capacity_bytes is not None and capacity_bytes < 1:
             raise ValueError("byte capacity must be >= 1")
+        # Plain tail-drop FIFO (no admit() override anywhere in the MRO):
+        # enqueue() inlines the admission decision.  A subclass or test
+        # that assigns ``admit`` on an *instance* must also set
+        # ``self._plain_admit = False`` (class-level overrides are
+        # detected here automatically).
+        self._plain_admit = type(self).admit is QueueDiscipline.admit
         self.capacity = capacity_pkts
         #: optional additional byte bound (ns-2's byte-mode queues)
         self.capacity_bytes = capacity_bytes
@@ -178,10 +188,33 @@ class QueueDiscipline:
         # QueueStats.account inlined: one enqueue/dequeue per packet hop
         # makes this the second-hottest path after the event loop.
         stats = self.stats
+        buf = self._buf
         if now > stats._last_change:
-            stats._q_integral += len(self._buf) * (now - stats._last_change)
+            stats._q_integral += len(buf) * (now - stats._last_change)
             stats._last_change = now
         stats.arrivals += 1
+        if self._plain_admit:
+            # Inlined tail-drop admit(): same decision, no method call,
+            # and the drop is by construction a forced (overflow) drop.
+            if len(buf) >= self.capacity or (
+                self.capacity_bytes is not None
+                and self._bytes + pkt.size > self.capacity_bytes
+            ):
+                stats.drops += 1
+                stats.forced_drops += 1
+                for fn in self.drop_listeners:
+                    fn(pkt, now)
+                if self.obs is not None:
+                    self.obs.queue_event(self, "drop", pkt, now, forced=True)
+                return False
+            pkt.enqueue_time = now
+            buf.append(pkt)
+            self._bytes += pkt.size
+            stats.enqueues += 1
+            stats.bytes_in += pkt.size
+            if self.obs is not None:
+                self.obs.queue_event(self, "enqueue", pkt, now)
+            return True
         verdict = self.admit(pkt, now)
         if verdict == "enqueue":
             pass

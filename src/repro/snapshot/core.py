@@ -134,10 +134,8 @@ def _diagnose_failure(sim: Simulator, state: Any, exc: Exception) -> SnapshotErr
     lambda scheduled where a bound method (or ``functools.partial`` of
     one) belongs.
     """
-    for entry in sim._heap:
-        fn, args, ev = entry[2], entry[3], entry[4]
-        if ev is not None and ev.cancelled:
-            continue
+    for entry in sim.live_entries():
+        fn, args = entry[2], entry[3]
         try:
             pickle.dumps((fn, args), protocol=_PICKLE_PROTOCOL)
         except SnapshotError as inner:
@@ -166,10 +164,48 @@ def _diagnose_failure(sim: Simulator, state: Any, exc: Exception) -> SnapshotErr
     return SnapshotError(f"cannot snapshot simulation: {exc}")
 
 
-def restore_bytes(body: bytes) -> Tuple[Simulator, Any]:
-    """Unpickle a snapshot body; returns ``(sim, state)``."""
+#: engine classes a snapshot may reference; remapped on cross-engine restore
+_ENGINE_CLASS_NAMES = ("Simulator", "LegacySimulator", "ArraySimulator")
+
+
+class _EngineRemapUnpickler(pickle.Unpickler):
+    """Unpickler that rebinds the simulator class to a chosen engine.
+
+    Snapshots pickle the concrete engine class by reference, so a body
+    captured under one ``REPRO_ENGINE`` would normally restore under the
+    same backend.  Both engines share one canonical state format (see
+    ``Simulator.__getstate__``), which makes the class substitutable at
+    load time: the target engine's ``__setstate__`` rebuilds its own
+    internal event-list representation from the shared state.
+    """
+
+    def __init__(self, file, target_cls: type):
+        super().__init__(file)
+        self._target_cls = target_cls
+
+    def find_class(self, module, name):
+        if module == "repro.sim.engine" and name in _ENGINE_CLASS_NAMES:
+            return self._target_cls
+        return super().find_class(module, name)
+
+
+def restore_bytes(body: bytes, *, engine: Optional[str] = None) -> Tuple[Simulator, Any]:
+    """Unpickle a snapshot body; returns ``(sim, state)``.
+
+    *engine* (``"array"`` / ``"legacy"``) restores the simulator under
+    that backend regardless of which one captured the snapshot; ``None``
+    keeps the capturing engine's class.
+    """
+    import io
+
+    from ..sim.engine import get_engine_class
+
     try:
-        root = pickle.loads(body)
+        if engine is None:
+            root = pickle.loads(body)
+        else:
+            target = get_engine_class(engine)
+            root = _EngineRemapUnpickler(io.BytesIO(body), target).load()
     except Exception as exc:  # noqa: BLE001
         raise SnapshotError(f"cannot restore snapshot body: {exc}") from exc
     if not isinstance(root, dict) or "sim" not in root:
@@ -255,20 +291,20 @@ def verify(path: Union[str, Path]) -> Dict[str, Any]:
     sim, _state = restore_bytes(body)
     if not isinstance(sim, Simulator):
         raise SnapshotError(f"{path}: body 'sim' is {type(sim).__name__}")
-    live = sum(1 for e in sim._heap if e[4] is None or not e[4].cancelled)
-    if live != sim.pending():
+    entries = sim.live_entries()
+    if len(entries) != sim.pending():
         raise SnapshotError(
-            f"{path}: live-event counter drift: heap holds {live} live "
-            f"entries but pending() reports {sim.pending()}"
+            f"{path}: live-event counter drift: heap holds {len(entries)} "
+            f"live entries but pending() reports {sim.pending()}"
         )
-    if sim._heap:
-        head_time = min(e[0] for e in sim._heap)
+    if entries:
+        head_time = min(e[0] for e in entries)
         if head_time < sim.now:
             raise SnapshotError(
                 f"{path}: event heap contains an entry at t={head_time} "
                 f"before sim.now={sim.now}"
             )
-        max_seq = max(e[1] for e in sim._heap)
+        max_seq = max(e[1] for e in entries)
         if max_seq >= sim._seq:
             raise SnapshotError(
                 f"{path}: heap sequence {max_seq} >= next sequence {sim._seq}"

@@ -1,0 +1,120 @@
+"""Batched DDE integration: bit-identical to per-member scalar runs."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.dde import integrate_dde, integrate_dde_batch
+from repro.fluid.pert_red import PertRedFluidModel, simulate_batch
+from repro.fluid.stability import classify_trajectories, trajectory_is_stable
+
+
+def _linear_decay_batch(rates):
+    rates = np.asarray(rates, dtype=float)
+
+    def rhs(t, x, history):
+        return -rates[:, None] * x
+
+    return rhs
+
+
+def test_batch_matches_scalar_ode():
+    """x' = -k x per member: batch rows equal scalar integrations exactly."""
+    rates = [0.5, 1.0, 2.0]
+    x0 = np.ones((3, 1))
+    batch = integrate_dde_batch(
+        _linear_decay_batch(rates), x0, (0.0, 2.0), dt=1e-2
+    )
+    for b, k in enumerate(rates):
+        scalar = integrate_dde(
+            lambda t, x, h, k=k: -k * x, [1.0], (0.0, 2.0), dt=1e-2
+        )
+        assert np.array_equal(batch.t, scalar.t)
+        assert np.array_equal(batch.y[:, b, :], scalar.y)
+
+
+def test_batch_delayed_term_matches_scalar():
+    """x' = -x(t - tau) with per-member delays, including history lookups."""
+    taus = np.array([0.3, 0.7, 1.0])
+
+    def rhs(t, x, history):
+        return -history(t - taus)
+
+    batch = integrate_dde_batch(rhs, np.ones((3, 1)), (0.0, 4.0), dt=1e-2)
+    for b, tau in enumerate(taus):
+        scalar = integrate_dde(
+            lambda t, x, h, tau=tau: -h(t - tau), [1.0], (0.0, 4.0), dt=1e-2
+        )
+        assert np.array_equal(batch.y[:, b, :], scalar.y)
+
+
+def test_batch_euler_matches_scalar():
+    def rhs(t, x, history):
+        return -history(t - 0.5)
+
+    batch = integrate_dde_batch(
+        rhs, np.ones((2, 1)), (0.0, 2.0), dt=1e-2, method="euler"
+    )
+    scalar = integrate_dde(
+        lambda t, x, h: -h(t - 0.5), [1.0], (0.0, 2.0), dt=1e-2, method="euler"
+    )
+    for b in range(2):
+        assert np.array_equal(batch.y[:, b, :], scalar.y)
+
+
+@pytest.mark.parametrize("clamp", [False, True])
+def test_pert_red_simulate_batch_bit_identical(clamp):
+    """A mixed-parameter PERT/RED sweep equals per-model simulate() runs."""
+    models = [
+        PertRedFluidModel(rtt=rtt, n_flows=n, clamp=clamp)
+        for rtt, n in [(0.08, 5), (0.1, 5), (0.12, 8), (0.17, 5)]
+    ]
+    batch = simulate_batch(models, duration=5.0, dt=1e-3)
+    assert batch.batch_size == len(models)
+    for b, model in enumerate(models):
+        scalar = model.simulate(5.0, dt=1e-3)
+        assert np.array_equal(batch.t, scalar.t)
+        assert np.array_equal(batch.y[:, b, :], scalar.y)
+
+
+def test_batch_solution_indexing_and_components():
+    models = [PertRedFluidModel(rtt=r) for r in (0.1, 0.15)]
+    batch = simulate_batch(models, duration=2.0, dt=1e-3)
+    assert len(batch) == 2
+    sol0 = batch[0]
+    assert np.array_equal(sol0.component(0), batch.component(0)[:, 0])
+    # dense-output interpolation works on the sliced member
+    mid = float(sol0(1.0)[0])
+    assert np.isfinite(mid)
+
+
+def test_classify_trajectories_matches_scalar_classifier():
+    """Vectorised sweep verdicts equal trajectory_is_stable per member."""
+    # straddle the Figure 13 stability boundary (~171 ms) so the batch
+    # contains both stable and unstable members
+    rtts = [0.10, 0.14, 0.18, 0.22]
+    models = [PertRedFluidModel(rtt=r, clamp=True) for r in rtts]
+    batch = simulate_batch(models, duration=40.0, dt=1e-3)
+    verdicts = classify_trajectories(batch)
+    assert verdicts.shape == (len(models),)
+    expected = [trajectory_is_stable(batch[b]) for b in range(len(models))]
+    assert list(verdicts) == expected
+    assert verdicts[0] and not verdicts[-1]
+
+
+def test_simulate_batch_input_validation():
+    with pytest.raises(ValueError):
+        simulate_batch([], duration=1.0)
+    mixed = [PertRedFluidModel(clamp=True), PertRedFluidModel(clamp=False)]
+    with pytest.raises(ValueError):
+        simulate_batch(mixed, duration=1.0)
+    with_n = PertRedFluidModel(n_of_t=lambda t: 5.0)
+    with pytest.raises(ValueError):
+        simulate_batch([with_n], duration=1.0)
+    with pytest.raises(ValueError):
+        simulate_batch(
+            [PertRedFluidModel()], duration=1.0, x0=np.ones((3, 3))
+        )
+    with pytest.raises(ValueError):
+        integrate_dde_batch(
+            lambda t, x, h: x, np.ones(3), (0.0, 1.0), dt=0.1
+        )

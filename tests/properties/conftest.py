@@ -1,0 +1,16 @@
+"""Hypothesis profiles for the property suites.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci``: the deadline is pinned off so
+slow shared runners never turn a healthy property into a flaky timeout,
+and the example budget is fixed so run time is predictable.  Local runs
+keep hypothesis defaults (profile ``default``).
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", deadline=None, max_examples=60,
+                          print_blob=True)
+settings.register_profile("nightly", deadline=None, max_examples=400)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
