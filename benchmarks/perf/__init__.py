@@ -41,9 +41,15 @@ from typing import Dict, Optional, Sequence, Tuple
 #: bump when the JSON layout changes (CI diffs the schema)
 SCHEMA = "repro-bench/2"
 
+#: bump when the history-line layout changes incompatibly
+HISTORY_SCHEMA = "repro-bench-history/1"
+
 #: repo root (benchmarks/perf/__init__.py -> two parents up)
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DEFAULT_OUT = REPO_ROOT / "BENCH_sim.json"
+#: append-only perf trajectory, one JSON line per suite run
+HISTORY_FILENAME = "BENCH_history.jsonl"
+DEFAULT_HISTORY = REPO_ROOT / HISTORY_FILENAME
 
 #: schemes whose dumbbell throughput is tracked: the PERT hot path, the
 #: cheapest baseline, and the router-AQM path (RED admit per packet)
@@ -335,3 +341,80 @@ def write_results(results: Dict, out: Optional[Path] = None) -> Path:
         json.dump(results, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def _git_sha() -> Optional[str]:
+    """Short git sha of HEAD, or None outside a repo / without git."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(REPO_ROOT), capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def history_record(results: Dict) -> Dict:
+    """Condense one :func:`run_suite` payload into a history line.
+
+    Keeps only what trajectory analysis needs: when, which code
+    (``git_sha``), which backend (``engine``), which tier (``quick``),
+    and the headline rate per benchmark (events/s, or steps/s for the
+    fluid benchmarks).  Full per-benchmark detail stays in
+    ``BENCH_sim.json``; the history is for run-over-run deltas.
+    """
+    rates = {}
+    for name, entry in results.get("benchmarks", {}).items():
+        rate = entry.get("events_per_sec") or entry.get("steps_per_sec")
+        if rate is not None:
+            rates[name] = rate
+    return {
+        "schema": HISTORY_SCHEMA,
+        "ts": time.time(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "engine": results.get("engine"),
+        "python": results.get("python"),
+        "quick": bool(results.get("quick")),
+        "rates": rates,
+    }
+
+
+def append_history(results: Dict, path: Optional[Path] = None) -> Path:
+    """Append one suite run to the ``BENCH_history.jsonl`` trajectory.
+
+    One JSON line per run, append-only — successive benchmark runs build
+    the perf-over-time record that ``python -m repro.obs report
+    --history``, ``repro.serve``'s ``/api/history``, and the perf
+    guard's failure diagnostics read.
+    """
+    path = Path(path) if path is not None else DEFAULT_HISTORY
+    line = json.dumps(history_record(results), sort_keys=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+    return path
+
+
+def read_history(path: Optional[Path] = None) -> list:
+    """Parse the history trajectory; unparseable lines are skipped."""
+    path = Path(path) if path is not None else DEFAULT_HISTORY
+    entries = []
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(rec, dict) and isinstance(rec.get("rates"), dict):
+                    entries.append(rec)
+    except OSError:
+        pass
+    return entries

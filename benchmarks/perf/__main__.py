@@ -1,13 +1,14 @@
-"""CLI: regenerate BENCH_sim.json.
+"""CLI: regenerate BENCH_sim.json (and append to BENCH_history.jsonl).
 
     PYTHONPATH=src python -m benchmarks.perf [--quick] [--repeat N] [--out PATH]
+                                             [--no-history] [--history PATH]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from . import DEFAULT_OUT, run_suite, write_results
+from . import DEFAULT_HISTORY, DEFAULT_OUT, append_history, run_suite, write_results
 
 
 def main(argv=None) -> int:
@@ -21,6 +22,10 @@ def main(argv=None) -> int:
                     help="best-of-N repetitions per benchmark (default 3)")
     ap.add_argument("--out", default=str(DEFAULT_OUT),
                     help=f"output path (default {DEFAULT_OUT})")
+    ap.add_argument("--history", default=str(DEFAULT_HISTORY),
+                    help=f"history JSONL to append (default {DEFAULT_HISTORY})")
+    ap.add_argument("--no-history", action="store_true",
+                    help="skip appending this run to the history trajectory")
     args = ap.parse_args(argv)
 
     results = run_suite(quick=args.quick, repeat=args.repeat)
@@ -39,6 +44,9 @@ def main(argv=None) -> int:
         print(line)
     path = write_results(results, args.out)
     print(f"wrote {path}")
+    if not args.no_history:
+        hist = append_history(results, args.history)
+        print(f"appended {hist}")
     return 0
 
 

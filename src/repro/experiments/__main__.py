@@ -23,6 +23,7 @@ import argparse
 import contextlib
 import os
 import sys
+from pathlib import Path
 from typing import Dict, Iterator, Optional
 
 from . import (
@@ -98,7 +99,36 @@ def _runner_env(args) -> Dict[str, Optional[str]]:
         env["REPRO_TRACE"] = "1"
     if args.profile:
         env["REPRO_PROFILE"] = "1"
+    if args.serve or _env_truthy("REPRO_SERVE"):
+        # The dashboard tails the bus file next to the cache entries.
+        env.setdefault("REPRO_BUS", "1")
     return env
+
+
+def _env_truthy(name: str) -> bool:
+    """Is the env var set to something other than off/0/false/no?"""
+    return os.environ.get(name, "").strip().lower() not in (
+        "", "0", "false", "no", "off"
+    )
+
+
+def _maybe_serve(args):
+    """Start the background dashboard when ``--serve``/``REPRO_SERVE`` asks.
+
+    Returns the server (caller shuts it down) or ``None``.  The server
+    watches the run's cache directory — the same place the bus file and
+    manifests land — and dies with the process at the latest.
+    """
+    if not (args.serve or _env_truthy("REPRO_SERVE")):
+        return None
+    from ..runner.cache import default_cache_dir
+    from ..serve import serve_in_background
+
+    run_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    run_dir.mkdir(parents=True, exist_ok=True)
+    server, url = serve_in_background(run_dir)
+    print(f"dashboard: {url}  (watching {run_dir})")
+    return server
 
 
 def main(argv=None) -> int:
@@ -144,6 +174,12 @@ def main(argv=None) -> int:
         help="sample event-callback timings in each job (adds a 'profile' "
              "section to manifests; slows the run)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="start the live dashboard (python -m repro.serve) on the cache "
+             "dir for the duration of the run; implies the REPRO_BUS event "
+             "bus (also via $REPRO_SERVE)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -163,10 +199,16 @@ def main(argv=None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with _scoped_env(_runner_env(args)):
-        for name in names:
-            print(f"=== {name} " + "=" * max(0, 60 - len(name)))
-            EXPERIMENTS[name].main()
-            print()
+        server = _maybe_serve(args)
+        try:
+            for name in names:
+                print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+                EXPERIMENTS[name].main()
+                print()
+        finally:
+            if server is not None:
+                server.shutdown()
+                server.server_close()
     return 0
 
 

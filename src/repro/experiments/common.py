@@ -277,6 +277,7 @@ def _build_dumbbell(params: Dict[str, Any], collector) -> _DumbbellState:
 
     sim = Simulator(seed=params["seed"])
     sim.profiler = obs_runtime.active_profiler()
+    obs_runtime.note_simulator(sim)
     sender_kwargs = scheme_sender_kwargs(spec, bandwidth, pkt_size, n_fwd, base_rtt)
 
     def fwd_qdisc():
@@ -368,6 +369,7 @@ def _resume_or_build(params, collector, ckpt) -> _DumbbellState:
             _sim, state = resumed
             if isinstance(state, _DumbbellState) and state.params == params:
                 state.sim.profiler = obs_runtime.active_profiler()
+                obs_runtime.note_simulator(state.sim)
                 if state.collector is not None:
                     obs_runtime.adopt_collector(state.collector)
                 return state

@@ -12,24 +12,40 @@ queue-behaviour summaries.
 Everything here is strictly passive: attaching a collector schedules no
 simulator events and draws from no RNG stream, so instrumented and
 uninstrumented runs produce bit-identical results (pinned by a golden
-test).  See ``docs/OBSERVABILITY.md`` for the full tour.
+test).  Live telemetry (the ``REPRO_BUS`` event bus tailed by
+``python -m repro.serve``) follows the same contract: events carry
+wall-clock context but never feed back into results.  See
+``docs/OBSERVABILITY.md`` for the full tour.
 """
 
+from .bus import (
+    BUS_SCHEMA,
+    EventBus,
+    active_bus,
+    bus_scope,
+    emit,
+    iter_events,
+    read_events,
+    resolve_bus_path,
+)
 from .collect import Collector
+from .diff import diff_runs, flagged_deltas, format_diff
 from .manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
     load_manifests,
+    load_manifests_with_warnings,
     write_manifest,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import SamplingProfiler
 from .records import TRACE_SCHEMA, record, validate_record
-from .report import format_table, generate_report
+from .report import format_table, generate_report, history_section, scheme_summary
 from .runtime import (
     JobObservation,
     ObsFlags,
     active,
+    note_simulator,
     observe_job,
     phase,
     resolve_obs_flags,
@@ -37,8 +53,10 @@ from .runtime import (
 from .trace import iter_trace, read_trace, write_trace
 
 __all__ = [
+    "BUS_SCHEMA",
     "Collector",
     "Counter",
+    "EventBus",
     "Gauge",
     "Histogram",
     "JobObservation",
@@ -48,16 +66,29 @@ __all__ = [
     "SamplingProfiler",
     "TRACE_SCHEMA",
     "active",
+    "active_bus",
     "build_manifest",
+    "bus_scope",
+    "diff_runs",
+    "emit",
+    "flagged_deltas",
+    "format_diff",
     "format_table",
     "generate_report",
+    "history_section",
+    "iter_events",
     "iter_trace",
     "load_manifests",
+    "load_manifests_with_warnings",
+    "note_simulator",
     "observe_job",
     "phase",
+    "read_events",
     "read_trace",
     "record",
+    "resolve_bus_path",
     "resolve_obs_flags",
+    "scheme_summary",
     "validate_record",
     "write_manifest",
     "write_trace",

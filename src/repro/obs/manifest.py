@@ -37,7 +37,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -45,6 +45,7 @@ __all__ = [
     "build_validation_manifest",
     "write_manifest",
     "load_manifests",
+    "load_manifests_with_warnings",
 ]
 
 #: bump when manifest fields change incompatibly
@@ -166,19 +167,45 @@ def load_manifests(run_dir: Union[str, Path]) -> List[dict]:
     """Load every ``*.manifest.json`` under *run_dir* (recursively).
 
     Unparseable files are skipped (a torn write from a killed run must
-    not break reporting on the rest).  Each loaded manifest gains a
-    ``_path`` key pointing back at its file so callers can find the
-    sibling trace.
+    not break reporting on the rest); callers who want to surface the
+    skips use :func:`load_manifests_with_warnings`.  Each loaded
+    manifest gains a ``_path`` key pointing back at its file so callers
+    can find the sibling trace.
+    """
+    manifests, _warnings = load_manifests_with_warnings(run_dir)
+    return manifests
+
+
+def load_manifests_with_warnings(
+    run_dir: Union[str, Path],
+) -> Tuple[List[dict], List[dict]]:
+    """Like :func:`load_manifests`, plus one warning record per skipped file.
+
+    Crashed or killed runs leave corrupt, truncated, or shape-invalid
+    manifests behind; reports and the live dashboard must keep working
+    on the healthy remainder, so each bad file is skipped and described
+    by a warning record ``{"path": <file>, "error": <why>}`` instead of
+    raising.
     """
     run_dir = Path(run_dir)
     manifests: List[dict] = []
+    warnings: List[dict] = []
     for path in sorted(run_dir.rglob(f"*{MANIFEST_SUFFIX}")):
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 manifest = json.load(fh)
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            warnings.append({
+                "path": str(path),
+                "error": f"{type(exc).__name__}: {exc}",
+            })
             continue
-        if isinstance(manifest, dict):
-            manifest["_path"] = str(path)
-            manifests.append(manifest)
-    return manifests
+        if not isinstance(manifest, dict):
+            warnings.append({
+                "path": str(path),
+                "error": f"manifest is {type(manifest).__name__}, not an object",
+            })
+            continue
+        manifest["_path"] = str(path)
+        manifests.append(manifest)
+    return manifests, warnings

@@ -9,14 +9,20 @@ anything.
 
 from __future__ import annotations
 
+import json
 import math
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from .manifest import load_manifests
+from .manifest import load_manifests_with_warnings
 from .trace import iter_trace
 
-__all__ = ["generate_report", "format_table"]
+__all__ = [
+    "generate_report",
+    "format_table",
+    "scheme_summary",
+    "history_section",
+]
 
 
 def format_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -56,13 +62,24 @@ def _job_label(m: dict) -> str:
     return "/".join(bits)
 
 
-def _scheme_rollup(manifests: List[dict]) -> List[List[str]]:
+def scheme_summary(manifests: List[dict]) -> Dict[str, dict]:
+    """Numeric per-scheme rollup of a manifest set.
+
+    Groups by hoisted ``scheme`` (falling back to ``kind``) and returns,
+    per group: job count, summed wall seconds, summed events, events/s,
+    and the mean ``drop_rate`` / ``norm_queue`` / ``utilization`` of the
+    jobs that reported them (``None`` when none did).  This is the shared
+    aggregation behind the report table, the live dashboard's
+    ``/api/metrics``, and ``python -m repro.obs diff``.
+    """
     by_scheme: Dict[str, dict] = {}
+    acc: Dict[str, dict] = {}
     for m in manifests:
         key = str(m.get("scheme") or m.get("kind") or "?")
-        agg = by_scheme.setdefault(
+        agg = acc.setdefault(
             key, {"jobs": 0, "wall": 0.0, "events": 0, "drop": [], "queue": [], "util": []}
         )
+        agg.setdefault("delay", [])
         agg["jobs"] += 1
         agg["wall"] += m.get("wall_time") or 0.0
         agg["events"] += m.get("events") or 0
@@ -72,19 +89,38 @@ def _scheme_rollup(manifests: List[dict]) -> List[List[str]]:
             v = result.get(field)
             if isinstance(v, (int, float)) and not math.isnan(v):
                 agg[dest].append(float(v))
+        # mean queue delay across this job's --obs metric snapshots
+        for name, snap in (m.get("metrics") or {}).items():
+            if (name.startswith("queue.") and name.endswith(".delay")
+                    and isinstance(snap, dict) and snap.get("count")):
+                agg["delay"].append(snap["sum"] / snap["count"])
+
+    def mean(xs):
+        return sum(xs) / len(xs) if xs else None
+
+    for scheme in sorted(acc):
+        agg = acc[scheme]
+        by_scheme[scheme] = {
+            "jobs": agg["jobs"],
+            "wall_time": agg["wall"],
+            "events": agg["events"],
+            "events_per_sec": agg["events"] / agg["wall"] if agg["wall"] > 0 else 0.0,
+            "drop_rate": mean(agg["drop"]),
+            "norm_queue": mean(agg["queue"]),
+            "utilization": mean(agg["util"]),
+            "queue_delay": mean(agg["delay"]),
+        }
+    return by_scheme
+
+
+def _scheme_rollup(manifests: List[dict]) -> List[List[str]]:
     rows = []
-    for scheme in sorted(by_scheme):
-        agg = by_scheme[scheme]
-        evps = agg["events"] / agg["wall"] if agg["wall"] > 0 else 0.0
-
-        def mean(xs):
-            return sum(xs) / len(xs) if xs else None
-
+    for scheme, agg in scheme_summary(manifests).items():
         rows.append([
-            scheme, str(agg["jobs"]), _fmt_secs(agg["wall"]),
-            f"{agg['events']:,}", f"{evps:,.0f}",
-            _fmt_rate(mean(agg["drop"])), _fmt_rate(mean(agg["queue"])),
-            _fmt_rate(mean(agg["util"])),
+            scheme, str(agg["jobs"]), _fmt_secs(agg["wall_time"]),
+            f"{agg['events']:,}", f"{agg['events_per_sec']:,.0f}",
+            _fmt_rate(agg["drop_rate"]), _fmt_rate(agg["norm_queue"]),
+            _fmt_rate(agg["utilization"]),
         ])
     return rows
 
@@ -175,25 +211,40 @@ def _trace_summary(manifests: List[dict]) -> List[str]:
 
 
 def generate_report(
-    run_dir, top: int = 10, include_trace: bool = True
+    run_dir, top: int = 10, include_trace: bool = True,
+    history: Optional[str] = None,
 ) -> str:
-    """Build the full text report for *run_dir*."""
-    all_manifests = load_manifests(run_dir)
+    """Build the full text report for *run_dir*.
+
+    *history* optionally names a ``BENCH_history.jsonl`` file whose perf
+    trajectory is appended as a final section (see
+    :func:`history_section`).
+    """
+    all_manifests, warnings = load_manifests_with_warnings(run_dir)
     validations = [m for m in all_manifests if m.get("kind") == "validation"]
     manifests = [m for m in all_manifests if m.get("kind") != "validation"]
     out: List[str] = []
     if not all_manifests:
-        return (
+        text = (
             f"no manifests found under {run_dir}\n"
             "(manifests are written next to cache entries by fresh runs; "
             "re-run with --no-cache disabled, e.g. "
             "`python -m repro.experiments fig6 --obs --cache-dir <run-dir>`; "
             "for paper-fidelity verdicts see `python -m repro.validate report`)"
         )
+        if warnings:
+            text += "\n" + _warnings_section(warnings)
+        if history:
+            text += "\n" + history_section(history)
+        return text
     if not manifests:
         out.append(f"run directory : {run_dir}")
         out.append("jobs          : 0 (validation manifests only)")
         out.append(_validation_section(validations))
+        if warnings:
+            out.append(_warnings_section(warnings))
+        if history:
+            out.append(history_section(history))
         return "\n".join(out)
 
     total_wall = sum(m.get("wall_time") or 0.0 for m in manifests)
@@ -256,7 +307,79 @@ def generate_report(
     if validations:
         out.append(_validation_section(validations))
 
+    if warnings:
+        out.append(_warnings_section(warnings))
+
+    if history:
+        out.append(history_section(history))
+
     return "\n".join(out)
+
+
+def _warnings_section(warnings: List[dict]) -> str:
+    """List manifests skipped as unreadable (crashed/killed runs)."""
+    lines = [f"\n== skipped manifests ({len(warnings)} unreadable) =="]
+    for w in warnings:
+        lines.append(f"  {w['path']}: {w['error']}")
+    lines.append("(torn writes from a crashed run; delete them or re-run "
+                 "the affected jobs)")
+    return "\n".join(lines)
+
+
+def history_section(path, last: int = 10) -> str:
+    """Render the bench-history trajectory (``BENCH_history.jsonl``).
+
+    Each line of the file is one ``python -m benchmarks.perf`` run
+    (schema-tagged, engine + git-sha stamped — see
+    :func:`benchmarks.perf.append_history`); the section tabulates the
+    most recent *last* entries per benchmark with the rate delta from
+    the previous entry, so perf drift is visible run over run.
+    """
+    path = Path(path)
+    if not path.exists():
+        return (f"\n== bench history ==\nno history at {path} "
+                "(populated by `python -m benchmarks.perf`)")
+    entries: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(rec, dict) and isinstance(rec.get("rates"), dict):
+                entries.append(rec)
+    if not entries:
+        return f"\n== bench history ==\nno parseable entries in {path}"
+    rows = []
+    window = entries[-last:]
+    prev_by_name: Dict[str, float] = {}
+    for e in entries[: len(entries) - len(window)]:
+        for name, rate in e["rates"].items():
+            prev_by_name[name] = rate
+    for e in window:
+        for name in sorted(e["rates"]):
+            rate = e["rates"][name]
+            prev = prev_by_name.get(name)
+            delta = (
+                f"{100.0 * (rate - prev) / prev:+.1f}%"
+                if prev else "-"
+            )
+            rows.append([
+                name, str(e.get("git_sha") or "?"),
+                str(e.get("engine") or "?"),
+                "quick" if e.get("quick") else "full",
+                f"{rate:,.0f}", delta,
+            ])
+            prev_by_name[name] = rate
+    return (
+        f"\n== bench history (last {len(window)} runs of {len(entries)}) ==\n"
+        + format_table(
+            ["benchmark", "git_sha", "engine", "tier", "rate", "delta"], rows,
+        )
+    )
 
 
 def _validation_section(validations: List[dict]) -> str:

@@ -36,6 +36,7 @@ __all__ = [
     "active_collector",
     "active_profiler",
     "adopt_collector",
+    "note_simulator",
     "phase",
     "resolve_obs_flags",
 ]
@@ -99,6 +100,9 @@ class JobObservation:
             SamplingProfiler(period=flags.profile_period) if flags.profile else None
         )
         self.phases: Dict[str, float] = {}
+        #: the job's live simulator, registered by harness code via
+        #: :func:`note_simulator` so bus heartbeats can sample progress
+        self.simulator = None
         self._t0 = time.monotonic()
 
     def add_phase(self, name: str, seconds: float) -> None:
@@ -169,13 +173,42 @@ def adopt_collector(collector: Optional[Collector]) -> bool:
 
 @contextmanager
 def phase(name: str):
-    """Time a named phase of the active observation (no-op when idle)."""
+    """Time a named phase of the active observation (no-op when idle).
+
+    When a telemetry bus is active in this process (see
+    :mod:`repro.obs.bus`), phase entry/exit also publish
+    ``phase_started``/``phase_finished`` events — two appends per phase,
+    nothing per event.
+    """
     obs = _ACTIVE
     if obs is None:
         yield
         return
+    from . import bus as _bus
+
+    live = _bus.active_bus()
+    if live is not None:
+        live.emit("phase_started", phase=name)
     t0 = time.monotonic()
     try:
         yield
     finally:
-        obs.add_phase(name, time.monotonic() - t0)
+        seconds = time.monotonic() - t0
+        obs.add_phase(name, seconds)
+        if live is not None:
+            live.emit("phase_finished", phase=name, seconds=seconds)
+
+
+def note_simulator(sim) -> bool:
+    """Register *sim* as the active observation's live simulator.
+
+    Harness code (e.g. the dumbbell builder) calls this right after
+    constructing or restoring its :class:`~repro.sim.engine.Simulator`
+    so the bus heartbeat thread can read progress counters off it.
+    Costs one global load when no observation is active; returns ``True``
+    if a registration happened.
+    """
+    if _ACTIVE is None:
+        return False
+    _ACTIVE.simulator = sim
+    return True

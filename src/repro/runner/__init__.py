@@ -23,7 +23,13 @@ from .cache import ResultCache, default_cache_dir, resolve_cache
 from .executor import JobResult, resolve_workers, run_jobs
 from .registry import register, registered_kinds, resolve_job
 from .spec import CACHE_SCHEMA, JobSpec, canonical_json, dumbbell_spec, parking_lot_spec
-from .telemetry import RunnerStats, progress_printer, resolve_progress
+from .telemetry import (
+    RunnerStats,
+    format_eta,
+    progress_line,
+    progress_printer,
+    resolve_progress,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -34,7 +40,9 @@ __all__ = [
     "canonical_json",
     "default_cache_dir",
     "dumbbell_spec",
+    "format_eta",
     "parking_lot_spec",
+    "progress_line",
     "progress_printer",
     "register",
     "registered_kinds",

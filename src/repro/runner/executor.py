@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.bus import EventBus, bus_scope, heartbeat_loop, resolve_bus_path
 from ..obs.manifest import build_manifest, write_manifest
 from ..obs.runtime import observe_job
 from ..obs.trace import write_trace
@@ -82,7 +83,8 @@ def _events_of(payload: Any) -> int:
     return 0
 
 
-def _child_main(kind: str, params: dict, conn, ckpt_path=None, ckpt_interval=None) -> None:
+def _child_main(kind: str, params: dict, conn, ckpt_path=None, ckpt_interval=None,
+                bus_path=None, job_key=None) -> None:
     """Worker-process entry point: run one job, ship one message back.
 
     The job runs inside an :func:`observe_job` context so phase timings,
@@ -96,9 +98,19 @@ def _child_main(kind: str, params: dict, conn, ckpt_path=None, ckpt_interval=Non
     previous attempt left one (crash/timeout recovery) and saves
     periodically.  On success the checkpoint file is deleted and its
     lineage summary rides back in the observation under ``checkpoint``.
+
+    When the telemetry bus is enabled (*bus_path*), the worker opens its
+    own :class:`~repro.obs.bus.EventBus` scoped to *job_key* so phase
+    transitions, checkpoint resumes and a wall-clock heartbeat thread
+    publish live progress straight into the run's ``events.jsonl`` —
+    the parent never proxies live telemetry, so a hung parent cannot
+    stall a worker.
     """
     try:
-        with observe_job() as obs, checkpoint_scope(ckpt_path, ckpt_interval) as slot:
+        with bus_scope(bus_path, job=job_key) as bus, \
+                observe_job() as obs, \
+                heartbeat_loop(bus), \
+                checkpoint_scope(ckpt_path, ckpt_interval) as slot:
             payload = resolve_job(kind)(dict(params))
         obs_meta = obs.finish()
         if slot is not None:
@@ -147,6 +159,7 @@ def run_jobs(
     retries: int = 1,
     progress=None,
     checkpoint: Optional[float] = None,
+    bus=None,
 ) -> List[JobResult]:
     """Execute *specs*, returning one :class:`JobResult` per spec, in order.
 
@@ -175,6 +188,12 @@ def run_jobs(
         starting over — bit-identically, so specs and cache keys are
         unaffected.  Requires an enabled cache (the checkpoint lives next
         to the job's cache entry); silently off otherwise.
+    bus:
+        Live telemetry bus (see :mod:`repro.obs.bus`): ``None`` defers to
+        ``$REPRO_BUS`` (default off), ``False`` disables, a str/Path
+        names the JSONL file explicitly.  Enabled, the scheduler and
+        every worker publish job lifecycle/heartbeat events there —
+        purely observational, results are bit-identical either way.
     """
     specs = list(specs)
     n_workers = resolve_workers(workers)
@@ -183,6 +202,8 @@ def run_jobs(
     hook = resolve_progress(progress)
     stats = RunnerStats(total=len(specs))
     results: List[Optional[JobResult]] = [None] * len(specs)
+    bus_path = resolve_bus_path(store, bus)
+    live: Optional[EventBus] = EventBus(bus_path) if bus_path is not None else None
 
     def settle(index: int, result: JobResult) -> None:
         results[index] = result
@@ -193,8 +214,37 @@ def run_jobs(
         else:
             stats.failed += 1
         stats.events += 0 if result.cached else _events_of(result.value)
+        if live is not None:
+            if result.cached:
+                live.emit("job_cached", key=result.spec.cache_key)
+            elif result.ok:
+                live.emit(
+                    "job_finished", key=result.spec.cache_key,
+                    wall_time=result.wall_time,
+                    events=_events_of(result.value),
+                    attempts=result.attempts,
+                )
+            else:
+                live.emit(
+                    "job_failed", key=result.spec.cache_key,
+                    error=(result.error or "")[:500],
+                    attempts=result.attempts,
+                )
         if hook is not None:
             hook(stats)
+
+    def announce(index: int, attempt: int) -> None:
+        if live is None:
+            return
+        spec = specs[index]
+        live.emit(
+            "job_started", key=spec.cache_key, kind=spec.kind,
+            scheme=spec.params.get("scheme"), seed=spec.params.get("seed"),
+            attempt=attempt,
+        )
+
+    if live is not None:
+        live.emit("run_started", total=len(specs))
 
     # ---- cache pass: satisfy what we can without simulating ------------
     misses: List[int] = []
@@ -209,6 +259,9 @@ def run_jobs(
             misses.append(i)
 
     if not misses:
+        if live is not None:
+            live.emit("run_finished", stats=stats.snapshot())
+            live.close()
         return [r for r in results if r is not None]
 
     def record_success(
@@ -233,16 +286,23 @@ def run_jobs(
             return None
         return store.checkpoint_path_for(spec)
 
-    if n_workers == 0:
-        _run_serial(
-            specs, misses, retries, stats, record_success, settle,
-            ckpt_path_of, ckpt_interval,
-        )
-    else:
-        _run_parallel(
-            specs, misses, n_workers, timeout, retries, stats,
-            record_success, settle, ckpt_path_of, ckpt_interval,
-        )
+    try:
+        if n_workers == 0:
+            _run_serial(
+                specs, misses, retries, stats, record_success, settle,
+                ckpt_path_of, ckpt_interval, announce, live, bus_path,
+            )
+        else:
+            _run_parallel(
+                specs, misses, n_workers, timeout, retries, stats,
+                record_success, settle, ckpt_path_of, ckpt_interval,
+                announce, live, bus_path,
+            )
+        if live is not None:
+            live.emit("run_finished", stats=stats.snapshot())
+    finally:
+        if live is not None:
+            live.close()
     return [r for r in results if r is not None]
 
 
@@ -281,7 +341,7 @@ def _write_observation(store, spec, meta, payload, obs_meta) -> None:
 # ----------------------------------------------------------------------
 def _run_serial(
     specs, misses, retries, stats, record_success, settle,
-    ckpt_path_of, ckpt_interval,
+    ckpt_path_of, ckpt_interval, announce, live, bus_path,
 ) -> None:
     for index in misses:
         spec = specs[index]
@@ -289,11 +349,18 @@ def _run_serial(
         for attempt in range(1, retries + 2):
             if attempt > 1:
                 stats.retries += 1
+                if live is not None:
+                    live.emit("job_retried", key=spec.cache_key,
+                              attempt=attempt - 1)
+            announce(index, attempt)
             t0 = time.monotonic()
             try:
-                with observe_job() as obs, checkpoint_scope(
-                    ckpt_path_of(spec), ckpt_interval
-                ) as slot:
+                with bus_scope(bus_path, job=spec.cache_key) as job_bus, \
+                        observe_job() as obs, \
+                        heartbeat_loop(job_bus), \
+                        checkpoint_scope(
+                            ckpt_path_of(spec), ckpt_interval
+                        ) as slot:
                     payload = resolve_job(spec.kind)(dict(spec.params))
             except Exception as exc:  # noqa: BLE001 - keep the sweep alive
                 error = f"{type(exc).__name__}: {exc}"
@@ -319,7 +386,7 @@ def _run_serial(
 # ----------------------------------------------------------------------
 def _run_parallel(
     specs, misses, n_workers, timeout, retries, stats, record_success, settle,
-    ckpt_path_of, ckpt_interval,
+    ckpt_path_of, ckpt_interval, announce, live, bus_path,
 ) -> None:
     ctx = _mp_context()
     queue: List[tuple] = [(i, 1) for i in misses]  # (spec index, attempt no.)
@@ -334,11 +401,13 @@ def _run_parallel(
             args=(
                 spec.kind, spec.params, child_conn,
                 ckpt_path_of(spec), ckpt_interval,
+                bus_path, spec.cache_key,
             ),
             daemon=True,
         )
         proc.start()
         child_conn.close()  # parent keeps only the read end
+        announce(index, attempt)
         now = time.monotonic()
         deadline = now + timeout if timeout is not None else None
         running.append(_Running(index, proc, parent_conn, deadline, attempt, now))
@@ -357,6 +426,9 @@ def _run_parallel(
     def retry_or_fail(slot: _Running, error: str) -> None:
         if slot.attempt <= retries:
             stats.retries += 1
+            if live is not None:
+                live.emit("job_retried", key=specs[slot.index].cache_key,
+                          attempt=slot.attempt)
             queue.append((slot.index, slot.attempt + 1))
         else:
             settle(slot.index, JobResult(

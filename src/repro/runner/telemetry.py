@@ -16,7 +16,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-__all__ = ["RunnerStats", "progress_printer", "resolve_progress"]
+__all__ = [
+    "RunnerStats",
+    "format_eta",
+    "progress_line",
+    "progress_printer",
+    "resolve_progress",
+]
 
 ProgressHook = Callable[["RunnerStats"], None]
 
@@ -76,12 +82,84 @@ class RunnerStats:
         return line
 
 
+def format_eta(seconds: Optional[float]) -> str:
+    """Compact ETA: ``0:42``, ``3:05``, ``1:02:09``; ``-`` when unknown."""
+    if seconds is None or seconds < 0:
+        return "-"
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class _EwmaRate:
+    """EWMA-smoothed settle rate (jobs/s) from successive observations.
+
+    The raw per-job rate is spiky — cache hits settle in microseconds,
+    fresh simulations in seconds — so the ETA uses an exponentially
+    weighted moving average of the instantaneous rate instead (higher
+    *alpha* tracks faster, smooths less).
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self.alpha = alpha
+        self._last_n: Optional[int] = None
+        self._last_t: Optional[float] = None
+        self.rate: Optional[float] = None
+
+    def update(self, finished: int, now: float) -> Optional[float]:
+        """Fold in an observation; return the smoothed jobs/s (or None)."""
+        if self._last_n is not None and now > self._last_t and finished > self._last_n:
+            inst = (finished - self._last_n) / (now - self._last_t)
+            if self.rate is None:
+                self.rate = inst
+            else:
+                self.rate = self.alpha * inst + (1 - self.alpha) * self.rate
+        if self._last_n is None or finished != self._last_n:
+            self._last_n, self._last_t = finished, now
+        return self.rate
+
+
+def progress_line(stats: RunnerStats, rate: Optional[float] = None) -> str:
+    """The progress string: counters, events/s, smoothed rate and ETA.
+
+    Pure formatting (no I/O, no clock reads beyond what *stats* holds),
+    so unit tests can pin the output exactly.
+    """
+    line = f"[repro.runner] {stats.summary()}"
+    if rate is not None and rate > 0:
+        remaining = max(0, stats.total - stats.finished)
+        line += f" | {rate:.2f} jobs/s eta {format_eta(remaining / rate)}"
+    return line
+
+
 def progress_printer(stream=None) -> ProgressHook:
-    """Hook that logs one summary line per settled job (stderr default)."""
+    """Hook printing live progress with a smoothed job rate and ETA.
+
+    On a TTY the line is redrawn in place (``\\r``, padded to cover the
+    previous draw) with a final newline once every job has settled; on
+    anything else — CI logs, redirected files — each settle appends one
+    plain newline-terminated line, so logs never fill with carriage
+    returns.  Defaults to stderr.
+    """
     out = stream if stream is not None else sys.stderr
+    is_tty = bool(getattr(out, "isatty", lambda: False)())
+    ewma = _EwmaRate()
+    last_width = 0
 
     def hook(stats: RunnerStats) -> None:
-        print(f"[repro.runner] {stats.summary()}", file=out, flush=True)
+        nonlocal last_width
+        rate = ewma.update(stats.finished, time.monotonic())
+        line = progress_line(stats, rate)
+        if is_tty:
+            pad = " " * max(0, last_width - len(line))
+            last_width = len(line)
+            end = "\n" if stats.finished >= stats.total else ""
+            print(f"\r{line}{pad}", file=out, end=end, flush=True)
+        else:
+            print(line, file=out, flush=True)
 
     return hook
 

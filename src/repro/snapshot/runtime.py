@@ -83,6 +83,10 @@ class CheckpointSlot:
         self.resumed_from = restored.id
         self.resumed_at = restored.sim.now
         self.last_id = restored.id
+        # Lazy import: the bus is optional live telemetry, resume is not.
+        from ..obs import bus as _bus
+
+        _bus.emit("job_resumed", resumed_at=self.resumed_at)
         return restored.sim, restored.state
 
     # -- save ----------------------------------------------------------

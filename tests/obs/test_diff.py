@@ -1,0 +1,110 @@
+"""Cross-run diff: scheme/metric deltas, thresholds, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.diff import (
+    DEFAULT_DIFF_METRICS,
+    diff_runs,
+    flagged_deltas,
+    format_diff,
+)
+
+
+def _write_manifest(path, scheme, events=10_000, wall=2.0, drop=0.01,
+                    kind="dumbbell"):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "schema": 1, "key": path.stem, "kind": kind, "params": {},
+        "scheme": scheme, "seed": 1, "wall_time": wall, "events": events,
+        "result": {"drop_rate": drop, "norm_queue": 0.4, "utilization": 0.9},
+    }))
+
+
+@pytest.fixture
+def run_pair(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    _write_manifest(a / "k1.manifest.json", "pert")
+    _write_manifest(a / "k2.manifest.json", "red")
+    _write_manifest(a / "k3.manifest.json", "gone")  # only in A
+    _write_manifest(b / "k1.manifest.json", "pert", events=12_000, drop=0.02)
+    _write_manifest(b / "k2.manifest.json", "red")
+    _write_manifest(b / "k4.manifest.json", "new")  # only in B
+    return a, b
+
+
+def test_diff_runs_structure_and_deltas(run_pair):
+    a, b = run_pair
+    diff = diff_runs(a, b)
+    assert diff["jobs"] == [3, 3]
+    assert diff["only_a"] == ["gone"]
+    assert diff["only_b"] == ["new"]
+    assert set(diff["schemes"]) == {"pert", "red"}
+    pert = diff["schemes"]["pert"]
+    assert set(pert) == set(DEFAULT_DIFF_METRICS)
+    assert pert["events_per_sec"]["delta_pct"] == pytest.approx(20.0)
+    assert pert["drop_rate"]["delta_pct"] == pytest.approx(100.0)
+    assert pert["wall_time"]["delta_pct"] == pytest.approx(0.0)
+    # no queue metrics recorded -> null, never a fake zero
+    assert pert["queue_delay"]["delta_pct"] is None
+    assert diff["schemes"]["red"]["drop_rate"]["delta_pct"] == pytest.approx(0.0)
+
+
+def test_flagged_deltas_sorted_worst_first(run_pair):
+    a, b = run_pair
+    over = flagged_deltas(diff_runs(a, b), threshold_pct=10.0)
+    assert [(s, m) for s, m, _ in over] == [
+        ("pert", "drop_rate"), ("pert", "events_per_sec")]
+    assert flagged_deltas(diff_runs(a, b), threshold_pct=500.0) == []
+
+
+def test_format_diff_marks_threshold_crossings(run_pair):
+    a, b = run_pair
+    text = format_diff(diff_runs(a, b), threshold_pct=10.0)
+    assert "+100.00%!" in text
+    assert "schemes only in A: gone" in text
+    assert "schemes only in B: new" in text
+    assert "2 deltas over the +/-10% threshold" in text
+    quiet = format_diff(diff_runs(a, a), threshold_pct=10.0)
+    assert "all deltas within" in quiet
+
+
+def test_diff_excludes_validation_and_counts_corrupt_manifests(run_pair):
+    a, b = run_pair
+    (a / "v.manifest.json").write_text(json.dumps(
+        {"schema": 1, "kind": "validation", "wall_time": 1.0,
+         "validation": {"figure": "fig6"}}))
+    (b / "torn.manifest.json").write_text("{torn")
+    diff = diff_runs(a, b)
+    assert diff["jobs"] == [3, 3]  # validation manifest not a job
+    assert diff["warnings"] == [0, 1]
+    assert "skipped unreadable manifests: A=0 B=1" in format_diff(diff)
+
+
+def test_cli_diff_exit_codes(run_pair, capsys):
+    a, b = run_pair
+    assert obs_main(["diff", str(a), str(b)]) == 0
+    assert obs_main(["diff", str(a), str(b), "--strict"]) == 1
+    assert obs_main(["diff", str(a), str(b), "--strict",
+                     "--threshold", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme.metric" in out
+
+
+def test_delta_pct_zero_baseline():
+    # a == 0, b == 0 -> flat; a == 0, b != 0 -> undefined, not infinity
+    base = {"schema": 1, "kind": "dumbbell", "scheme": "s", "params": {},
+            "wall_time": 1.0, "events": 0, "result": {"drop_rate": 0.0}}
+    import tempfile
+    from pathlib import Path
+    tmp = Path(tempfile.mkdtemp())
+    for run, drop in (("a", 0.0), ("b", 0.5)):
+        d = tmp / run
+        d.mkdir()
+        rec = dict(base, result={"drop_rate": drop})
+        (d / "k.manifest.json").write_text(json.dumps(rec))
+    diff = diff_runs(tmp / "a", tmp / "b")
+    assert diff["schemes"]["s"]["events_per_sec"]["delta_pct"] == 0.0
+    assert diff["schemes"]["s"]["drop_rate"]["delta_pct"] is None

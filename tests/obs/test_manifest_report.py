@@ -10,9 +10,10 @@ from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
     load_manifests,
+    load_manifests_with_warnings,
     write_manifest,
 )
-from repro.obs.report import generate_report
+from repro.obs.report import generate_report, scheme_summary
 from repro.obs.trace import read_trace
 from repro.runner import run_jobs
 from repro.runner.cache import ResultCache
@@ -132,6 +133,77 @@ def test_load_manifests_skips_corrupt_files(tmp_path):
     assert len(loaded) == 1
     assert loaded[0]["key"] == "k1"
     assert loaded[0]["_path"].endswith("k1.manifest.json")
+
+
+def test_load_manifests_with_warnings_reports_truncated_file(tmp_path):
+    good = build_manifest(
+        key="k1", kind="dumbbell", params={"seed": 2}, wall_time=0.1,
+        events=10, attempts=1,
+    )
+    write_manifest(tmp_path / "k1.manifest.json", good)
+    # a torn write from a killed run: valid JSON prefix, cut mid-object
+    full = json.dumps(good)
+    (tmp_path / "k2.manifest.json").write_text(full[: len(full) // 2])
+    # wrong top-level shape entirely
+    (tmp_path / "k3.manifest.json").write_text("[1, 2, 3]")
+
+    manifests, warnings = load_manifests_with_warnings(tmp_path)
+    assert [m["key"] for m in manifests] == ["k1"]
+    assert len(warnings) == 2
+    by_path = {w["path"].rsplit("/", 1)[-1]: w["error"] for w in warnings}
+    assert "JSONDecodeError" in by_path["k2.manifest.json"]
+    assert "not an object" in by_path["k3.manifest.json"]
+    # the report must still render, and must surface the skips
+    report = generate_report(tmp_path, include_trace=False)
+    assert "skipped manifests (2 unreadable)" in report
+
+
+def test_scheme_summary_empty_set():
+    assert scheme_summary([]) == {}
+    report_rows = generate_report.__doc__  # sanity: API intact
+    assert report_rows is not None
+
+
+def test_scheme_summary_heterogeneous_manifests():
+    # one job with full metrics, one with no phases/rss/result, one with
+    # a NaN metric and no scheme at all (falls back to kind)
+    manifests = [
+        {
+            "kind": "dumbbell", "scheme": "pert", "wall_time": 2.0,
+            "events": 1000,
+            "result": {"drop_rate": 0.02, "norm_queue": 0.5, "utilization": 0.9},
+            "metrics": {"queue.bottleneck.delay": {"count": 4, "sum": 0.2}},
+        },
+        {"kind": "dumbbell", "scheme": "pert", "wall_time": 0.0, "events": 0},
+        {
+            "kind": "dumbbell", "scheme": None, "wall_time": 1.0, "events": 500,
+            "result": {"drop_rate": float("nan")},
+        },
+    ]
+    summary = scheme_summary(manifests)
+    assert set(summary) == {"pert", "dumbbell"}
+    pert = summary["pert"]
+    assert pert["jobs"] == 2
+    assert pert["events"] == 1000
+    # missing metrics average over the jobs that reported them only
+    assert pert["drop_rate"] == pytest.approx(0.02)
+    assert pert["queue_delay"] == pytest.approx(0.05)
+    # NaN never leaks into means; scheme-less jobs group under kind
+    assert summary["dumbbell"]["drop_rate"] is None
+    assert summary["dumbbell"]["queue_delay"] is None
+
+
+def test_report_on_manifests_without_phases_or_rss(tmp_path):
+    m = build_manifest(
+        key="k9", kind="dumbbell", params={"seed": 1, "scheme": "red"},
+        wall_time=1.5, events=300, attempts=1,
+    )
+    assert "phases" not in m and "peak_rss_kb" not in m
+    write_manifest(tmp_path / "k9.manifest.json", m)
+    report = generate_report(tmp_path, include_trace=False)
+    assert "red" in report
+    assert "1 jobs" not in report  # header says "jobs          : 1"
+    assert "jobs          : 1" in report
 
 
 def test_runner_stats_aggregate_wall_and_rss(tmp_path):

@@ -99,6 +99,33 @@ def _rerun(name, entry):
     raise AssertionError(f"no runner wired for benchmark {name}")
 
 
+def _trajectory_note(name):
+    """Recent BENCH_history.jsonl rates for *name*, for failure triage.
+
+    A guard trip on a noisy runner looks identical to a real regression;
+    the recorded trajectory (same-machine runs over time, engine and git
+    sha stamped) tells them apart at a glance.  Empty string when no
+    history exists.
+    """
+    perf = _bench_module()
+    entries = [e for e in perf.read_history() if name in e.get("rates", {})]
+    if not entries:
+        return ""
+    tail = entries[-5:]
+    lines = [
+        f"  {e.get('date', '?')} {e.get('git_sha') or '?'} "
+        f"({e.get('engine') or '?'}{', quick' if e.get('quick') else ''}): "
+        f"{e['rates'][name]:,.0f}"
+        for e in tail
+    ]
+    first, last = tail[0]["rates"][name], tail[-1]["rates"][name]
+    delta = f"{100.0 * (last - first) / first:+.1f}%" if first else "n/a"
+    return (
+        f"\nrecent trajectory for {name} (delta over window: {delta}):\n"
+        + "\n".join(lines)
+    )
+
+
 @pytest.mark.parametrize("name", sorted(NOISE_FLOORS))
 def test_benchmark_within_noise_floor(name):
     entry = _load_entry(name)
@@ -117,7 +144,7 @@ def test_benchmark_within_noise_floor(name):
         f"{name} regressed: {best:,.0f} vs baseline {baseline:,.0f} "
         f"{rate_field} (floor {floor:,.0f} = {min_ratio:.0%}); if "
         f"intentional, regenerate BENCH_sim.json via "
-        f"`python -m benchmarks.perf`"
+        f"`python -m benchmarks.perf`{_trajectory_note(name)}"
     )
 
     # the workload itself must be unchanged: same fixed-seed work count

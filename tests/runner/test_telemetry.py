@@ -1,0 +1,96 @@
+"""Progress printer: formatting, EWMA/ETA, and the non-TTY guard."""
+
+import io
+
+from repro.runner.telemetry import (
+    RunnerStats,
+    _EwmaRate,
+    format_eta,
+    progress_line,
+    progress_printer,
+)
+
+
+class _Tty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_format_eta():
+    assert format_eta(None) == "-"
+    assert format_eta(-3) == "-"
+    assert format_eta(0) == "0:00"
+    assert format_eta(42) == "0:42"
+    assert format_eta(185) == "3:05"
+    assert format_eta(3729) == "1:02:09"
+
+
+def test_progress_line_without_rate_matches_summary():
+    stats = RunnerStats(total=4)
+    stats.done = 2
+    assert progress_line(stats) == f"[repro.runner] {stats.summary()}"
+
+
+def test_progress_line_includes_rate_and_eta():
+    stats = RunnerStats(total=10)
+    stats.done = 4
+    line = progress_line(stats, rate=2.0)
+    assert "2.00 jobs/s" in line
+    assert "eta 0:03" in line  # 6 remaining / 2 per second
+
+
+def test_ewma_smooths_rate():
+    ewma = _EwmaRate(alpha=0.5)
+    assert ewma.update(0, 0.0) is None  # first observation: no rate yet
+    assert ewma.update(1, 1.0) == 1.0  # 1 job/s seeds the average
+    # a 3 jobs/s burst only pulls the smoothed rate halfway (alpha=0.5)
+    assert ewma.update(4, 2.0) == 2.0
+    # repeated hook calls with no new settles must not distort the rate
+    assert ewma.update(4, 3.0) == 2.0
+
+
+def test_non_tty_stream_gets_plain_lines_no_carriage_returns():
+    out = io.StringIO()
+    hook = progress_printer(stream=out)
+    stats = RunnerStats(total=2)
+    stats.done = 1
+    hook(stats)
+    stats.done = 2
+    hook(stats)
+    text = out.getvalue()
+    assert "\r" not in text
+    assert text.count("\n") == 2
+    assert text.endswith("\n")
+
+
+def test_tty_stream_redraws_in_place_with_final_newline():
+    out = _Tty()
+    hook = progress_printer(stream=out)
+    stats = RunnerStats(total=2)
+    stats.done = 1
+    hook(stats)
+    mid = out.getvalue()
+    assert mid.startswith("\r")
+    assert "\n" not in mid  # in-flight draws stay on one line
+    stats.done = 2
+    hook(stats)
+    text = out.getvalue()
+    assert text.endswith("\n")  # completion releases the line
+    assert text.count("\n") == 1
+
+
+def test_tty_redraw_pads_over_previous_longer_line():
+    out = _Tty()
+    hook = progress_printer(stream=out)
+    stats = RunnerStats(total=100)
+    stats.done = 50
+    stats.retries = 10
+    hook(stats)
+    first_len = len(out.getvalue()) - 1  # minus leading \r
+    stats = RunnerStats(total=100)  # fresh stats: shorter line
+    stats.done = 99
+    hook2_line_start = len(out.getvalue())
+    hook(stats)
+    redraw = out.getvalue()[hook2_line_start:]
+    # the redraw must cover every column the longer line used
+    assert len(redraw.lstrip("\r").rstrip("\n")) >= first_len

@@ -1,0 +1,214 @@
+"""Dashboard server: RunView aggregation, JSON APIs, SSE stream."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.runner import JobSpec, run_jobs
+from repro.runner.cache import ResultCache
+from repro.serve import RunView, make_server, serve_in_background
+
+
+def _emit_lifecycle(path, key="k1", fail=False):
+    bus = EventBus(path)
+    bus.emit("run_started", total=1)
+    bus.emit("job_started", key=key, kind="dumbbell", scheme="pert", seed=3,
+             attempt=1)
+    bus.emit("phase_started", key=key, phase="warmup")
+    bus.emit("phase_finished", key=key, phase="warmup", seconds=0.5)
+    bus.emit("heartbeat", key=key, sim_now=10.0, events=100, sched=150,
+             peak_rss_kb=9000)
+    bus.emit("heartbeat", key=key, sim_now=20.0, events=200, sched=350,
+             peak_rss_kb=9100)
+    if fail:
+        bus.emit("job_failed", key=key, error="boom", attempts=2)
+    else:
+        bus.emit("job_finished", key=key, wall_time=1.5, events=200,
+                 attempts=1)
+    bus.emit("run_finished", stats={"done": 0 if fail else 1, "total": 1})
+    bus.close()
+
+
+# ---------------------------------------------------------------------------
+# RunView
+
+
+def test_runview_builds_job_states_from_bus(tmp_path):
+    _emit_lifecycle(tmp_path / "events.jsonl")
+    view = RunView(tmp_path)
+    assert view.refresh() == 8
+    assert view.refresh() == 0  # incremental: nothing new to apply
+    jobs = view.jobs()
+    assert len(jobs) == 1
+    job = jobs[0]
+    assert job["state"] == "done"
+    assert job["scheme"] == "pert"
+    assert job["sim_now"] == 20.0
+    assert job["wall_time"] == 1.5
+    assert job["phase"] is None  # warmup closed cleanly
+    runs = view.runs()
+    assert runs["job_counts"]["done"] == 1
+    assert runs["runs"][0]["stats"]["done"] == 1
+    assert runs["runs"][0]["finished_ts"] is not None
+
+
+def test_runview_derives_live_rate_from_heartbeats(tmp_path):
+    path = tmp_path / "events.jsonl"
+    bus = EventBus(path)
+    bus.emit("job_started", key="k", kind="d", scheme=None, seed=None,
+             attempt=1)
+    bus.emit("heartbeat", key="k", sim_now=1.0, events=0, sched=100,
+             peak_rss_kb=1)
+    bus.close()
+    # forge a second beat 2 wall-seconds and 500 sched-events later
+    first = json.loads(path.read_text().splitlines()[-1])
+    second = dict(first, ts=first["ts"] + 2.0, sched=600, sim_now=3.0)
+    with path.open("a") as fh:
+        fh.write(json.dumps(second) + "\n")
+    view = RunView(tmp_path)
+    view.refresh()
+    job = view.jobs()[0]
+    assert job["state"] == "running"
+    assert job["rate"] == pytest.approx(250.0)
+
+
+def test_runview_failed_job_and_torn_tail(tmp_path):
+    path = tmp_path / "events.jsonl"
+    _emit_lifecycle(path, fail=True)
+    with path.open("a") as fh:
+        fh.write('{"v": 1, "type": "job_started", "ke')  # torn write
+    view = RunView(tmp_path)
+    view.refresh()
+    job = view.jobs()[0]
+    assert job["state"] == "failed"
+    assert job["error"] == "boom"
+    assert view.runs()["job_counts"]["failed"] == 1
+    # the torn tail completes later: the event must then apply
+    with path.open("a") as fh:
+        fh.write('y": "k2", "kind": "d", "scheme": null, "seed": null, '
+                 '"attempt": 1, "ts": 5.0, "pid": 1}\n')
+    view.refresh()
+    assert view.runs()["jobs_seen"] == 2
+
+
+def test_runview_metrics_and_history(tmp_path):
+    (tmp_path / "k.manifest.json").write_text(json.dumps({
+        "schema": 1, "key": "k", "kind": "dumbbell", "params": {},
+        "scheme": "pert", "seed": 1, "wall_time": 2.0, "events": 5000,
+        "result": {"drop_rate": 0.01},
+    }))
+    hist = tmp_path / "BENCH_history.jsonl"
+    hist.write_text(json.dumps({"schema": "repro-bench-history/1",
+                                "rates": {"engine.churn": 1e6}}) + "\n"
+                    + "{garbage\n")
+    view = RunView(tmp_path, history=hist)
+    metrics = view.metrics()
+    assert metrics["jobs"] == 1
+    assert metrics["schemes"]["pert"]["events_per_sec"] == pytest.approx(2500)
+    history = view.history()
+    assert len(history["entries"]) == 1  # garbage line skipped
+    assert RunView(tmp_path).history()["entries"] == []  # no history wired
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    specs = [
+        JobSpec(kind="tests.runner.jobs:events",
+                params={"value": i, "events": 20, "scheme": "pert", "seed": i})
+        for i in range(2)
+    ]
+    run_jobs(specs, workers=0, cache=ResultCache(tmp_path),
+             bus=tmp_path / "events.jsonl")
+    server, url = serve_in_background(tmp_path)
+    yield server, url
+    server.shutdown()
+    server.server_close()
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        assert resp.headers["Content-Type"] == "application/json"
+        return json.load(resp)
+
+
+def test_api_endpoints_serve_run_state(live_server):
+    server, url = live_server
+    runs = _get_json(url + "api/runs")
+    assert runs["bus_exists"] is True
+    assert runs["job_counts"]["done"] == 2
+    jobs = _get_json(url + "api/jobs")["jobs"]
+    assert len(jobs) == 2
+    assert all(j["state"] == "done" for j in jobs)
+    metrics = _get_json(url + "api/metrics")
+    assert metrics["jobs"] == 2
+    assert "pert" in metrics["schemes"]
+    history = _get_json(url + "api/history")
+    assert history["entries"] == []
+
+
+def test_dashboard_page_and_404(live_server):
+    server, url = live_server
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        html = resp.read().decode()
+    assert "repro.serve" in html
+    assert "/events?replay=1" in html
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(url + "api/nope", timeout=10)
+    assert err.value.code == 404
+
+
+def test_sse_stream_replays_bus_events(live_server):
+    server, url = live_server
+    req = urllib.request.Request(url + "events?replay=1")
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        assert resp.headers["Content-Type"] == "text/event-stream"
+        datas = []
+        while len(datas) < 3:
+            line = resp.readline().decode().rstrip("\n")
+            if line.startswith("data: "):
+                datas.append(json.loads(line[len("data: "):]))
+    assert datas[0]["type"] == "run_started"
+    assert datas[1]["type"] == "job_started"
+
+
+def test_sse_stream_sees_events_appended_after_connect(live_server, tmp_path):
+    server, url = live_server
+    bus_path = server.view.bus_path
+    datas = []
+    done = threading.Event()
+
+    def reader():
+        req = urllib.request.Request(url + "events")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            while not datas:
+                line = resp.readline().decode().rstrip("\n")
+                if line.startswith("data: "):
+                    datas.append(json.loads(line[len("data: "):]))
+        done.set()
+
+    t = threading.Thread(target=reader, daemon=True)
+    t.start()
+    time.sleep(0.3)  # let the stream attach at end-of-file
+    bus = EventBus(bus_path)
+    bus.emit("job_cached", key="late")
+    bus.close()
+    assert done.wait(10.0), "SSE reader never saw the appended event"
+    assert datas[0]["type"] == "job_cached"
+    assert datas[0]["key"] == "late"
+
+
+def test_make_server_binds_ephemeral_port(tmp_path):
+    server = make_server(tmp_path, port=0)
+    try:
+        assert server.server_address[1] != 0
+        assert server.view.run_dir == tmp_path
+    finally:
+        server.server_close()

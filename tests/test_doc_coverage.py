@@ -1,7 +1,8 @@
 """Doc-coverage lint: public APIs of the tooling packages stay documented.
 
 Walks every module under ``repro.runner``, ``repro.snapshot``,
-``repro.obs`` and ``repro.validate`` and fails when a public symbol —
+``repro.obs``, ``repro.serve`` and ``repro.validate`` and fails when a
+public symbol —
 module, module-level function/class named by ``__all__`` (or all
 non-underscore names defined in the module), or a public method/property
 defined on such a class — has no docstring.  This backs the
@@ -17,7 +18,8 @@ import pkgutil
 
 import pytest
 
-PACKAGES = ["repro.runner", "repro.snapshot", "repro.obs", "repro.validate"]
+PACKAGES = ["repro.runner", "repro.snapshot", "repro.obs", "repro.serve",
+            "repro.validate"]
 
 
 def _iter_modules():
