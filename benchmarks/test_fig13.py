@@ -58,12 +58,12 @@ def test_fig13_spectral_cross_check(benchmark):
         pert_red_rightmost_root,
         pert_red_spectral_boundary,
     )
-    from repro.fluid.pert_red import PertRedFluidModel
+    from repro.fluid import make_fluid_model
 
     def job():
         roots = {
             rtt: pert_red_rightmost_root(
-                PertRedFluidModel(rtt=rtt, **FIG13BD_PARAMS)).real
+                make_fluid_model("pert_red", rtt=rtt, **FIG13BD_PARAMS)).real
             for rtt in (0.100, 0.160, 0.171)
         }
         full = pert_red_spectral_boundary(0.1, 0.2, **FIG13BD_PARAMS)

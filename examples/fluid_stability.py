@@ -15,8 +15,8 @@ Run:  python examples/fluid_stability.py
 import os
 
 from repro.fluid import (
-    PertRedFluidModel,
     find_stability_boundary,
+    make_fluid_model,
     min_delta,
     trajectory_is_stable,
 )
@@ -55,14 +55,14 @@ def main() -> None:
 
     print("\nFigure 13(b-d): PERT/RED DDE trajectories (C=100 pkt/s, N=5)")
     for rtt in (0.100, 0.160, 0.171):
-        model = PertRedFluidModel(rtt=rtt, **FIG13BD)
+        model = make_fluid_model("pert_red", rtt=rtt, **FIG13BD)
         sol = model.simulate(duration=HORIZON, dt=2e-3)
         verdict = "stable" if trajectory_is_stable(sol) else "UNSTABLE"
         w_star = model.equilibrium()[0]
         print(f"  R = {rtt*1e3:5.0f} ms: {verdict:8s}  (W* = {w_star:.2f} pkts)")
 
     def make(rtt):
-        return PertRedFluidModel(rtt=rtt, **FIG13BD).simulate(HORIZON, dt=4e-3)
+        return make_fluid_model("pert_red", rtt=rtt, **FIG13BD).simulate(HORIZON, dt=4e-3)
 
     boundary = find_stability_boundary(make, lo=0.15, hi=0.19, tol=TOL)
     print(f"\nEmpirical stability boundary: R ~ {boundary*1e3:.0f} ms "

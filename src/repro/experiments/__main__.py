@@ -40,6 +40,7 @@ from . import (
     fig12b_cbr_dynamics,
     fig13_fluid,
     fig14_pert_pi,
+    fig_hybrid,
     table1_rtts,
 )
 
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "fig12b": fig12b_cbr_dynamics,
     "fig13": fig13_fluid,
     "fig14": fig14_pert_pi,
+    "fig_hybrid": fig_hybrid,
 }
 
 

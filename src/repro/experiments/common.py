@@ -40,7 +40,7 @@ from ..metrics.fairness import jain_index
 from ..obs import runtime as obs_runtime
 from ..sim.engine import Simulator
 from ..sim.monitors import DropLog, LinkWindow, QueueSampler
-from ..sim.topology import Dumbbell
+from ..sim.topology import Dumbbell, make_topology
 from ..snapshot import runtime as snapshot_runtime
 from ..snapshot.core import capture_bytes, restore_bytes
 from ..tcp.base import TcpSender, TcpSink, connect_flow
@@ -105,6 +105,10 @@ class DumbbellResult:
     early_responses: int = 0
     timeouts: int = 0
     events_processed: int = 0
+    #: fluid background coupling (hybrid runs; see :mod:`repro.hybrid`)
+    background_model: Optional[str] = None
+    background_share: float = 0.0
+    background_pkts: int = 0
     extras: Dict = field(default_factory=dict)
 
 
@@ -124,6 +128,7 @@ def run_dumbbell(
     start_window: Optional[float] = None,
     record_rtt_flow: Optional[int] = None,
     queue_sample_interval: float = 0.02,
+    background=None,
     keep_refs: bool = False,
     collector=None,
 ) -> DumbbellResult:
@@ -150,6 +155,12 @@ def run_dumbbell(
         Forward-flow index whose per-ACK RTT trace and loss events are
         retained (``extras["rtt_trace"]``, ``extras["flow_losses"]``,
         plus a fine-grained queue sampler in ``extras["queue_sampler"]``).
+    background:
+        Optional fluid-driven background load at the bottleneck — a
+        :class:`repro.hybrid.BackgroundLoad` or its dict form (see
+        :mod:`repro.hybrid`).  ``None`` or a zero ``share`` runs the
+        pure packet experiment, bit-identically to omitting the
+        argument.
     keep_refs:
         Also return live simulator objects in ``extras`` (for tests).
     collector:
@@ -166,7 +177,7 @@ def run_dumbbell(
         web_sessions=web_sessions, duration=duration, warmup=warmup, seed=seed,
         pkt_size=pkt_size, buffer_pkts=buffer_pkts, rtts=rtts,
         start_window=start_window, record_rtt_flow=record_rtt_flow,
-        queue_sample_interval=queue_sample_interval,
+        queue_sample_interval=queue_sample_interval, background=background,
     )
     if collector is None:
         collector = obs_runtime.active_collector()
@@ -205,12 +216,14 @@ class _DumbbellState:
     sampler: QueueSampler
     collector: Any = None
     goodput0: Optional[List[int]] = None
+    #: live fluid-background injector (None for pure packet runs)
+    bg_source: Any = None
 
 
 def _resolve_params(
     *, scheme, bandwidth, rtt, n_fwd, n_rev, web_sessions, duration, warmup,
     seed, pkt_size, buffer_pkts, rtts, start_window, record_rtt_flow,
-    queue_sample_interval,
+    queue_sample_interval, background=None,
 ) -> Dict[str, Any]:
     """Validate and resolve the run parameters into their canonical form.
 
@@ -231,6 +244,12 @@ def _resolve_params(
         )
     if start_window is None:
         start_window = min(5.0, warmup / 2.0)
+    # Normalise the background spec; a zero share collapses to None so
+    # the resolved params (and therefore the build) are bit-identical
+    # to a run that never mentioned a background at all.
+    from ..hybrid.background import BackgroundLoad  # local: avoids a cycle
+
+    bg = BackgroundLoad.from_spec(background)
     return dict(
         scheme=scheme,
         bandwidth=bandwidth,
@@ -247,6 +266,7 @@ def _resolve_params(
         start_window=start_window,
         record_rtt_flow=record_rtt_flow,
         queue_sample_interval=queue_sample_interval,
+        background=None if bg is None else bg.canonical(),
     )
 
 
@@ -288,7 +308,8 @@ def _build_dumbbell(params: Dict[str, Any], collector) -> _DumbbellState:
         # forward flows' ACKs) see the same buffer and discipline.
         return spec.make_qdisc(sim, buffer_pkts, bandwidth, pkt_size, n_rev, base_rtt)
 
-    db = Dumbbell(
+    db = make_topology(
+        "dumbbell",
         sim,
         n_left=n_hosts,
         n_right=n_hosts,
@@ -350,9 +371,27 @@ def _build_dumbbell(params: Dict[str, Any], collector) -> _DumbbellState:
         for sender, _ in fwd_flows + rev_flows:
             collector.attach_sender(sender)
 
+    # The fluid background attaches strictly after everything above, so
+    # the pure-packet construction prefix (streams, event sequence
+    # numbers) is untouched — a run without a background is bit-identical
+    # to one built before this feature existed.
+    bg_source = None
+    if params.get("background"):
+        from ..hybrid.background import BackgroundLoad, attach_background
+
+        bg_source = attach_background(
+            sim, db,
+            BackgroundLoad(**params["background"]),
+            bandwidth=bandwidth,
+            pkt_size=pkt_size,
+            base_rtt=base_rtt,
+            duration=params["duration"],
+        )
+
     return _DumbbellState(
         params=params, sim=sim, db=db, fwd_flows=fwd_flows, rev_flows=rev_flows,
         window=window, drop_log=drop_log, sampler=sampler, collector=collector,
+        bg_source=bg_source,
     )
 
 
@@ -455,6 +494,16 @@ def _dumbbell_result(state: _DumbbellState, keep_refs: bool = False) -> Dumbbell
         timeouts=sum(s.timeouts for s in all_senders),
         events_processed=state.sim.events_processed,
     )
+    bg = p.get("background")
+    if bg and state.bg_source is not None:
+        result.background_model = bg["model"]
+        result.background_share = bg["share"]
+        result.background_pkts = state.bg_source.pkts_sent
+        result.extras["background_offered_pkts"] = state.bg_source.offered_pkts
+        if state.bg_source.sink is not None:
+            result.extras["background_delivered_pkts"] = (
+                state.bg_source.sink.pkts_received
+            )
     if p["record_rtt_flow"] is not None:
         tagged = state.fwd_flows[p["record_rtt_flow"]][0]
         result.extras["rtt_trace"] = tagged.rtt_trace
@@ -487,7 +536,7 @@ def warm_dumbbell_bytes(scheme: str, bandwidth: float, **kwargs) -> bytes:
     defaults = dict(
         rtt=0.060, n_fwd=10, n_rev=0, web_sessions=0, warmup=20.0, seed=1,
         pkt_size=1000, buffer_pkts=None, rtts=None, start_window=None,
-        record_rtt_flow=None, queue_sample_interval=0.02,
+        record_rtt_flow=None, queue_sample_interval=0.02, background=None,
     )
     defaults.update(kwargs)
     params = _resolve_params(scheme=scheme, bandwidth=bandwidth, **defaults)

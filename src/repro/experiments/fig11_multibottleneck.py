@@ -24,7 +24,7 @@ from ..metrics.fairness import jain_index
 from ..runner import parking_lot_spec, run_jobs
 from ..sim.engine import Simulator
 from ..sim.monitors import LinkWindow, QueueSampler
-from ..sim.topology import ParkingLot
+from ..sim.topology import make_topology
 from ..tcp.base import connect_flow
 from .report import format_table
 from .scenarios import get_scheme, scheme_sender_kwargs
@@ -65,7 +65,8 @@ def run_parking_lot(
         return spec.make_qdisc(sim, buffer_pkts, link_bw, pkt_size,
                                n_hop_flows * 2, e2e_rtt)
 
-    lot = ParkingLot(
+    lot = make_topology(
+        "parking_lot",
         sim,
         n_routers=n_routers,
         cloud_size=cloud_size,

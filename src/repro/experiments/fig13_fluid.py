@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..fluid.pert_red import PertRedFluidModel
+from ..fluid.registry import make_fluid_model
 from ..fluid.stability import min_delta, trajectory_is_stable
 from .report import format_table
 
@@ -53,7 +53,7 @@ def run_trajectories(
     """Figure 13(b-d): classify DDE trajectories at each delay."""
     rows = []
     for r in delays:
-        model = PertRedFluidModel(rtt=r, **FIG13BD_PARAMS)
+        model = make_fluid_model("pert_red", rtt=r, **FIG13BD_PARAMS)
         sol = model.simulate(duration=duration, dt=dt)
         w_star, p_star, tq_star = model.equilibrium()
         tail = sol.component(0)[-int(1.0 / dt):]

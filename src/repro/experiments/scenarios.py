@@ -167,10 +167,19 @@ class ScenarioPoint:
     identify the point in the result table.  Keeping them separate lets
     a point carry derived run parameters (e.g. Figure 7's per-RTT
     duration) without those leaking into the reported rows.
+
+    ``background`` optionally gives this point its own fluid background
+    load (:class:`repro.hybrid.BackgroundLoad` dict form: at least a
+    fluid model name and a capacity share), overriding the spec-level
+    one.  It is merged into the run kwargs — so the point's cache key
+    covers it and hybrid points dedupe like any other job — and echoed
+    into the row tags as ``bg_model``/``bg_share`` unless the tags
+    already carry those columns.
     """
 
     overrides: Mapping[str, Any]
     tags: Mapping[str, Any]
+    background: Optional[Mapping[str, Any]] = None
 
 
 @dataclass
@@ -198,12 +207,39 @@ class ScenarioSpec:
     columns: Sequence[str] = ()
     #: the paper's qualitative expectation for this figure
     expectation: str = ""
+    #: optional fluid background load applied to every point (dict form
+    #: of :class:`repro.hybrid.BackgroundLoad`); a point-level
+    #: ``background`` overrides this spec-level one
+    background: Optional[Mapping[str, Any]] = None
+
+    def background_for(self, point: ScenarioPoint) -> Optional[Dict[str, Any]]:
+        """Effective background spec for *point* (point overrides spec)."""
+        bg = point.background if point.background is not None else self.background
+        return None if bg is None else dict(bg)
 
     def kwargs_for(self, point: ScenarioPoint) -> Dict[str, Any]:
         """Full ``run_dumbbell`` kwargs for *point* (base + overrides)."""
         kwargs = dict(self.base)
         kwargs.update(point.overrides)
+        bg = self.background_for(point)
+        if bg is not None:
+            kwargs["background"] = bg
         return kwargs
+
+    def tags_for(self, point: ScenarioPoint) -> Dict[str, Any]:
+        """Row tags for *point*, with hybrid points auto-tagged.
+
+        Points carrying a background load gain ``bg_model``/``bg_share``
+        columns (unless the point's tags already define them), so hybrid
+        rows stay distinguishable in result tables and validation
+        metric ids.
+        """
+        tags = dict(point.tags)
+        bg = self.background_for(point)
+        if bg is not None:
+            tags.setdefault("bg_model", bg.get("model"))
+            tags.setdefault("bg_share", bg.get("share"))
+        return tags
 
     def resolved_schemes(self) -> Sequence[str]:
         if self.schemes is not None:
@@ -231,10 +267,18 @@ class ScenarioSpec:
         runner's workers (simulated seconds between saves).
         """
         from .sweep import sweep_dumbbell  # local: avoids an import cycle
+
+        def point_overrides(p: ScenarioPoint) -> Dict[str, Any]:
+            overrides = dict(p.overrides)
+            bg = self.background_for(p)
+            if bg is not None:
+                overrides["background"] = bg
+            return overrides
+
         return sweep_dumbbell(
-            [dict(p.overrides) for p in self.points],
+            [point_overrides(p) for p in self.points],
             schemes=self.resolved_schemes(),
-            tags=[dict(p.tags) for p in self.points],
+            tags=[self.tags_for(p) for p in self.points],
             workers=workers,
             cache=cache,
             timeout=timeout,

@@ -3,6 +3,14 @@
 from .dde import DdeBatchSolution, DdeSolution, integrate_dde, integrate_dde_batch
 from .pert_pi import PertPiFluidModel
 from .pert_red import PertRedFluidModel, simulate_batch
+from .rates import RateSegment, RateTrajectory, equilibrium_rate, rate_trajectory
+from .registry import (
+    FLUID_MODELS,
+    FluidModel,
+    fluid_model_params,
+    make_fluid_model,
+    reset_legacy_warnings,
+)
 from .spectrum import (
     pert_red_linearization,
     pert_red_rightmost_root,
@@ -30,6 +38,15 @@ __all__ = [
     "DdeSolution",
     "DdeBatchSolution",
     "simulate_batch",
+    "FluidModel",
+    "FLUID_MODELS",
+    "make_fluid_model",
+    "fluid_model_params",
+    "reset_legacy_warnings",
+    "RateSegment",
+    "RateTrajectory",
+    "rate_trajectory",
+    "equilibrium_rate",
     "classify_trajectories",
     "PertRedFluidModel",
     "TcpRedFluidModel",

@@ -1,0 +1,62 @@
+"""Deprecation bookkeeping for direct fluid-model construction.
+
+The canonical way to build a fluid model is
+:func:`repro.fluid.make_fluid_model`; the per-class dataclass
+constructors remain as thin shims that warn once per class per process
+when called directly.  The registry state lives here — not in
+``registry.py`` — because every concrete model module has to call the
+hook from its ``__post_init__``, and importing the registry from there
+would be a cycle.  This mirrors the queue-discipline shims in
+:mod:`repro.sim.queues.base`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Set, Type
+
+__all__ = [
+    "factory_construction",
+    "maybe_warn_legacy_init",
+    "reset_legacy_warnings",
+]
+
+#: classes whose direct construction is deprecated (populated by
+#: ``repro.fluid.registry`` at import time)
+_LEGACY_SHIMMED: Set[type] = set()
+#: class names that have already warned this process
+_LEGACY_WARNED: Set[str] = set()
+#: >0 while make_fluid_model() itself is constructing (suppresses the warning)
+_legacy_suppressed = 0
+
+
+@contextmanager
+def factory_construction() -> Iterator[None]:
+    """Mark constructions performed by make_fluid_model() as non-deprecated."""
+    global _legacy_suppressed
+    _legacy_suppressed += 1
+    try:
+        yield
+    finally:
+        _legacy_suppressed -= 1
+
+
+def maybe_warn_legacy_init(cls: Type) -> None:
+    """Emit the once-per-class warning for a direct constructor call."""
+    if _legacy_suppressed or cls not in _LEGACY_SHIMMED:
+        return
+    if cls.__name__ in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(cls.__name__)
+    warnings.warn(
+        f"constructing {cls.__name__} directly is deprecated; use "
+        f"repro.fluid.make_fluid_model(name, **params) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which classes have warned (for tests of the shims)."""
+    _LEGACY_WARNED.clear()

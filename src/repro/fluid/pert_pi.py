@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import _legacy
 from .dde import DdeSolution, integrate_dde
 
 __all__ = ["PertPiFluidModel"]
@@ -40,6 +41,7 @@ class PertPiFluidModel:
     clamp: bool = True
 
     def __post_init__(self) -> None:
+        _legacy.maybe_warn_legacy_init(type(self))
         if self.capacity <= 0 or self.n_flows <= 0 or self.rtt <= 0:
             raise ValueError("capacity, n_flows and rtt must be positive")
         if self.k <= 0 or self.m <= 0:
@@ -50,6 +52,11 @@ class PertPiFluidModel:
         w_star = self.rtt * self.capacity / self.n_flows
         p_star = 2.0 * self.n_flows**2 / (self.rtt**2 * self.capacity**2)
         return w_star, p_star, self.tq_ref
+
+    def equilibrium_state(self) -> Tuple[float, float, float]:
+        """:meth:`equilibrium` mapped onto the state vector (W, Tq, p)."""
+        w_star, p_star, tq_star = self.equilibrium()
+        return w_star, tq_star, p_star
 
     def rhs(self, t: float, x: np.ndarray, history) -> np.ndarray:
         r = self.rtt

@@ -30,6 +30,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import _legacy
 from .dde import DdeBatchSolution, DdeSolution, integrate_dde, integrate_dde_batch
 
 __all__ = ["PertRedFluidModel", "simulate_batch"]
@@ -79,6 +80,7 @@ class PertRedFluidModel:
     n_of_t: Optional[Callable[[float], float]] = None
 
     def __post_init__(self) -> None:
+        _legacy.maybe_warn_legacy_init(type(self))
         if self.capacity <= 0 or self.n_flows <= 0 or self.rtt <= 0:
             raise ValueError("capacity, n_flows and rtt must be positive")
         if not 0 < self.alpha < 1:
@@ -110,6 +112,11 @@ class PertRedFluidModel:
         p_star = 1.0 / (self.beta_decrease * w_star**2)
         tq_star = self.t_min + p_star / self.l_pert
         return w_star, p_star, tq_star
+
+    def equilibrium_state(self) -> Tuple[float, float, float]:
+        """:meth:`equilibrium` mapped onto the state vector (W, Tq, s)."""
+        w_star, _, tq_star = self.equilibrium()
+        return w_star, tq_star, tq_star
 
     # ------------------------------------------------------------------
     def rhs(self, t: float, x: np.ndarray, history) -> np.ndarray:

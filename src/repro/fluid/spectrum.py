@@ -169,8 +169,10 @@ def pert_red_spectral_boundary(
     """Bisect the RTT at which the linearized model loses stability."""
 
     def real_part(rtt: float) -> float:
+        from .registry import make_fluid_model  # local: registry imports us
+
         return pert_red_rightmost_root(
-            PertRedFluidModel(rtt=rtt, **model_kwargs), m=m
+            make_fluid_model("pert_red", rtt=rtt, **model_kwargs), m=m
         ).real
 
     if real_part(lo) >= 0:

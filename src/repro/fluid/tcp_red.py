@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import _legacy
 from .dde import DdeSolution, integrate_dde
 
 __all__ = ["TcpRedFluidModel"]
@@ -46,6 +47,7 @@ class TcpRedFluidModel:
     clamp: bool = False
 
     def __post_init__(self) -> None:
+        _legacy.maybe_warn_legacy_init(type(self))
         if self.capacity <= 0 or self.n_flows <= 0 or self.rtt <= 0:
             raise ValueError("capacity, n_flows and rtt must be positive")
         if self.delta is None:
@@ -67,6 +69,11 @@ class TcpRedFluidModel:
         p_star = 2.0 * self.n_flows**2 / (self.rtt**2 * self.capacity**2)
         q_star = self.min_th + p_star / self.l_red
         return w_star, p_star, q_star
+
+    def equilibrium_state(self) -> Tuple[float, float, float]:
+        """:meth:`equilibrium` mapped onto the state vector (W, q, q_avg)."""
+        w_star, _, q_star = self.equilibrium()
+        return w_star, q_star, q_star
 
     def rhs(self, t: float, x: np.ndarray, history) -> np.ndarray:
         r = self.rtt

@@ -19,7 +19,15 @@ from .queues import (
     RedQueue,
     RemQueue,
 )
-from .topology import Dumbbell, Network, ParkingLot, build_dumbbell, build_parking_lot
+from .topology import (
+    TOPOLOGIES,
+    Dumbbell,
+    Network,
+    ParkingLot,
+    build_dumbbell,
+    build_parking_lot,
+    make_topology,
+)
 from .trace import FlowTracer, ascii_series
 
 __all__ = [
@@ -43,6 +51,8 @@ __all__ = [
     "Network",
     "Dumbbell",
     "ParkingLot",
+    "TOPOLOGIES",
+    "make_topology",
     "build_dumbbell",
     "build_parking_lot",
     "QueueSampler",

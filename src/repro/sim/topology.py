@@ -2,19 +2,32 @@
 
 Two canonical topologies from the paper are provided:
 
-* :func:`build_dumbbell` — the single-bottleneck topology used throughout
-  Section 4 (hosts on each side, two routers, one bottleneck link).
-* :func:`build_parking_lot` — the six-router chain with per-router host
+* ``"dumbbell"`` — the single-bottleneck topology used throughout
+  Section 4 (hosts on each side, two routers, one bottleneck link);
+* ``"parking_lot"`` — the six-router chain with per-router host
   clouds of Section 4.6 / Figure 10 (multiple bottlenecks).
 
-Both return a :class:`Network`, which owns the simulator's node table and
-computes static shortest-path (hop-count) routes.
+The canonical way to build either is the :func:`make_topology` registry
+(mirroring :func:`repro.sim.queues.make_queue`), so scenario specs can
+name topologies declaratively:
+
+>>> db = make_topology("dumbbell", sim, n_left=4, n_right=4,
+...                    bottleneck_bw=8e6, bottleneck_delay=0.01,
+...                    qdisc_fwd=qdisc)
+
+The historical :func:`build_dumbbell`/:func:`build_parking_lot` wrappers
+remain as thin shims that emit one :class:`DeprecationWarning` each per
+process.  Every topology owns a :class:`Network`, which keeps the
+simulator's node table and computes static shortest-path (hop-count)
+routes.
 """
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple, Type
 
 from .engine import Simulator
 from .link import Link
@@ -22,7 +35,16 @@ from .node import Node
 from .queues.base import QueueDiscipline
 from .queues.config import QueueConfig, make_queue
 
-__all__ = ["Network", "Dumbbell", "ParkingLot", "build_dumbbell", "build_parking_lot"]
+__all__ = [
+    "Network",
+    "Dumbbell",
+    "ParkingLot",
+    "TOPOLOGIES",
+    "make_topology",
+    "build_dumbbell",
+    "build_parking_lot",
+    "reset_builder_warnings",
+]
 
 QdiscFactory = Callable[[], QueueDiscipline]
 
@@ -183,11 +205,69 @@ class ParkingLot:
         return self.net.sim
 
 
+#: topology name -> implementing class
+TOPOLOGIES: Dict[str, Type] = {
+    "dumbbell": Dumbbell,
+    "parking_lot": ParkingLot,
+}
+
+#: deprecated builder names that have already warned this process
+_BUILDER_WARNED: Set[str] = set()
+
+
+def _allowed_topology_params(cls: Type) -> Dict[str, inspect.Parameter]:
+    """Constructor keywords settable through :func:`make_topology`."""
+    sig = inspect.signature(cls.__init__)
+    return {n: p for n, p in sig.parameters.items() if n not in ("self", "sim")}
+
+
+def make_topology(name: str, sim: Simulator, **kwargs):
+    """Build the topology registered under *name* on *sim*.
+
+    Keyword arguments are validated against the implementing class's
+    constructor signature; unknown topology names and parameters raise
+    :class:`ValueError` with the valid names listed, exactly like
+    :func:`repro.sim.queues.make_queue` does for disciplines.
+    """
+    cls = TOPOLOGIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown topology {name!r}; valid: {sorted(TOPOLOGIES)}"
+        )
+    allowed = _allowed_topology_params(cls)
+    unknown = sorted(set(kwargs) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {unknown} for topology {name!r}; "
+            f"valid: {sorted(allowed)}"
+        )
+    return cls(sim, **kwargs)
+
+
+def _warn_builder(old: str, name: str) -> None:
+    """Once-per-process deprecation notice for the legacy builders."""
+    if old in _BUILDER_WARNED:
+        return
+    _BUILDER_WARNED.add(old)
+    warnings.warn(
+        f"{old}() is deprecated; use make_topology({name!r}, sim, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_builder_warnings() -> None:
+    """Forget which legacy builders have warned (for tests of the shims)."""
+    _BUILDER_WARNED.clear()
+
+
 def build_dumbbell(sim: Simulator, **kwargs) -> Dumbbell:
-    """Convenience wrapper mirroring :class:`Dumbbell`'s signature."""
-    return Dumbbell(sim, **kwargs)
+    """Deprecated: use ``make_topology("dumbbell", sim, **kwargs)``."""
+    _warn_builder("build_dumbbell", "dumbbell")
+    return make_topology("dumbbell", sim, **kwargs)
 
 
 def build_parking_lot(sim: Simulator, **kwargs) -> ParkingLot:
-    """Convenience wrapper mirroring :class:`ParkingLot`'s signature."""
-    return ParkingLot(sim, **kwargs)
+    """Deprecated: use ``make_topology("parking_lot", sim, **kwargs)``."""
+    _warn_builder("build_parking_lot", "parking_lot")
+    return make_topology("parking_lot", sim, **kwargs)

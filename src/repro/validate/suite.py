@@ -222,6 +222,21 @@ def _warmstart(full: bool) -> Dict[str, float]:
     )
 
 
+def _hybrid(full: bool) -> Dict[str, float]:
+    # Hybrid fluid-packet engine: every agreement point runs twice (pure
+    # packet and hybrid) at the same per-flow bandwidth, plus the
+    # 10^5-flow scenario only the hybrid engine can afford.  The agree.*
+    # metrics carry hand-set bounds asserting packet-vs-hybrid
+    # agreement; everything else is a golden pin.
+    from ..experiments import fig_hybrid as mod
+    if full:
+        return mod.validation_metrics(mod.run())
+    return mod.validation_metrics(mod.run(
+        flow_counts=[10, 40], duration=12.0, warmup=4.0,
+        extreme_duration=12.0, extreme_warmup=4.0,
+    ))
+
+
 #: the registered checks, in docs/RESULTS.md order
 SUITE: Dict[str, FigureCheck] = {
     c.figure: c
@@ -256,6 +271,8 @@ SUITE: Dict[str, FigureCheck] = {
                     {"quick": lambda: _fig14(False), "full": lambda: _fig14(True)}),
         FigureCheck("warmstart", "Warm-started duration sweep (snapshot fidelity)",
                     {"quick": lambda: _warmstart(False), "full": lambda: _warmstart(True)}),
+        FigureCheck("hybrid", "Hybrid engine — fluid background vs packet agreement",
+                    {"quick": lambda: _hybrid(False), "full": lambda: _hybrid(True)}),
     )
 }
 

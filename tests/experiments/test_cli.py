@@ -16,6 +16,8 @@ def test_registry_covers_every_paper_artifact():
     assert set(EXPERIMENTS) == {
         "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
         "table1", "fig11", "fig12", "fig12b", "fig13", "fig14",
+        # beyond the paper: the hybrid engine's agreement/extreme family
+        "fig_hybrid",
     }
 
 

@@ -1,0 +1,85 @@
+"""Fluid-model registry: factory round-trips and legacy-shim warnings."""
+
+import warnings
+
+import pytest
+
+from repro.fluid import (
+    FLUID_MODELS,
+    FluidModel,
+    fluid_model_params,
+    make_fluid_model,
+    reset_legacy_warnings,
+)
+from repro.fluid.pert_pi import PertPiFluidModel
+from repro.fluid.pert_red import PertRedFluidModel
+from repro.fluid.tcp_red import TcpRedFluidModel
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_legacy_warnings()
+    yield
+    reset_legacy_warnings()
+
+
+@pytest.mark.parametrize("name", sorted(FLUID_MODELS))
+def test_factory_roundtrip(name):
+    model = make_fluid_model(name, capacity=250.0, n_flows=5, rtt=0.08)
+    assert isinstance(model, FLUID_MODELS[name])
+    assert isinstance(model, FluidModel)
+    assert model.capacity == 250.0
+    assert model.n_flows == 5
+    assert model.rtt == 0.08
+    # the registered surface is actually usable
+    w_star = model.equilibrium()[0]
+    assert w_star == pytest.approx(0.08 * 250.0 / 5)
+    state = model.equilibrium_state()
+    assert state[0] == pytest.approx(w_star)
+
+
+def test_factory_rejects_unknown_model():
+    with pytest.raises(ValueError, match="pert_red"):
+        make_fluid_model("no_such_model")
+
+
+def test_factory_rejects_unknown_param():
+    with pytest.raises(ValueError, match="capacitee"):
+        make_fluid_model("pert_red", capacitee=100.0)
+
+
+def test_fluid_model_params_lists_constructor_fields():
+    params = fluid_model_params("pert_red")
+    assert {"capacity", "n_flows", "rtt", "t_min", "t_max"} <= set(params)
+
+
+@pytest.mark.parametrize("cls", [PertRedFluidModel, TcpRedFluidModel,
+                                 PertPiFluidModel])
+def test_direct_construction_warns_once_per_class(cls):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cls()
+        cls()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "make_fluid_model" in str(deprecations[0].message)
+
+
+def test_factory_construction_does_not_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        make_fluid_model("pert_red")
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_reset_rearms_the_warning():
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        PertRedFluidModel()
+    reset_legacy_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        PertRedFluidModel()
+    assert [w for w in caught if issubclass(w.category, DeprecationWarning)]

@@ -44,6 +44,7 @@ NOISE_FLOORS = {
     "dumbbell.warmstart": (0.55, "events_per_sec"),
     "fluid.dde": (0.75, "steps_per_sec"),
     "fluid.dde_batch": (0.75, "steps_per_sec"),
+    "hybrid.dumbbell": (0.60, "events_per_sec"),
 }
 
 
@@ -96,6 +97,8 @@ def _rerun(name, entry):
         return perf.bench_fluid(**params)
     if name == "fluid.dde_batch":
         return perf.bench_fluid_batch(**params)
+    if name == "hybrid.dumbbell":
+        return perf.bench_hybrid(**params)
     raise AssertionError(f"no runner wired for benchmark {name}")
 
 

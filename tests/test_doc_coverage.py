@@ -19,7 +19,7 @@ import pkgutil
 import pytest
 
 PACKAGES = ["repro.runner", "repro.snapshot", "repro.obs", "repro.serve",
-            "repro.validate"]
+            "repro.validate", "repro.hybrid"]
 
 
 def _iter_modules():
