@@ -101,6 +101,8 @@ def _runner_env(args) -> Dict[str, Optional[str]]:
         env["REPRO_TRACE"] = "1"
     if args.profile:
         env["REPRO_PROFILE"] = "1"
+    if args.fleet:
+        env["REPRO_FLEET"] = args.fleet
     if args.serve or _env_truthy("REPRO_SERVE"):
         # The dashboard tails the bus file next to the cache entries.
         env.setdefault("REPRO_BUS", "1")
@@ -126,7 +128,13 @@ def _maybe_serve(args):
     from ..runner.cache import default_cache_dir
     from ..serve import serve_in_background
 
-    run_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if args.fleet or os.environ.get("REPRO_FLEET", "").strip():
+        # Fleeted runs put the bus (and fleet_* events) in the fleet dir.
+        run_dir = Path(args.fleet or os.environ["REPRO_FLEET"])
+    elif args.cache_dir:
+        run_dir = Path(args.cache_dir)
+    else:
+        run_dir = default_cache_dir()
     run_dir.mkdir(parents=True, exist_ok=True)
     server, url = serve_in_background(run_dir)
     print(f"dashboard: {url}  (watching {run_dir})")
@@ -175,6 +183,12 @@ def main(argv=None) -> int:
         "--profile", action="store_true",
         help="sample event-callback timings in each job (adds a 'profile' "
              "section to manifests; slows the run)",
+    )
+    parser.add_argument(
+        "--fleet", default=None, metavar="DIR",
+        help="run grid experiments through a crash-safe fleet directory "
+             "(python -m repro.fleet): sweeps are journaled, killed runs "
+             "resume with zero recomputation (also via $REPRO_FLEET)",
     )
     parser.add_argument(
         "--serve", action="store_true",

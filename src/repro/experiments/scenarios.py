@@ -257,6 +257,7 @@ class ScenarioSpec:
         progress=None,
         warm_start: bool = False,
         checkpoint: Optional[float] = None,
+        fleet=None,
     ) -> List[Dict]:
         """Run every scheme at every point; returns flattened table rows.
 
@@ -264,7 +265,10 @@ class ScenarioSpec:
         across all points — valid only when the points differ solely in
         ``duration`` (see :func:`repro.experiments.sweep.sweep_dumbbell`).
         ``checkpoint`` enables periodic crash-resume checkpoints in the
-        runner's workers (simulated seconds between saves).
+        runner's workers (simulated seconds between saves).  ``fleet``
+        routes execution through a crash-safe :mod:`repro.fleet`
+        directory (path, ``Fleet`` instance, or ``None`` to consult
+        ``$REPRO_FLEET``) — see :func:`sweep_dumbbell`.
         """
         from .sweep import sweep_dumbbell  # local: avoids an import cycle
 
@@ -286,5 +290,6 @@ class ScenarioSpec:
             progress=progress,
             warm_start=warm_start,
             checkpoint=checkpoint,
+            fleet=fleet,
             **self.base,
         )

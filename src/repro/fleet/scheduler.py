@@ -1,0 +1,323 @@
+"""Fleet facade: submit sweeps, drain them with workers, read results.
+
+:class:`Fleet` ties the fabric's pieces together behind four verbs:
+
+* :meth:`Fleet.submit` — dedupe each point against the content-addressed
+  store (a point finished by *any* earlier sweep is acknowledged as a
+  store hit without ever reaching a worker), journal the rest;
+* :meth:`Fleet.drain` — run workers (in-process, or a
+  :class:`~repro.fleet.transport.LocalTransport` process pool with
+  bounded respawn of dead workers) until every job is terminal;
+* :meth:`Fleet.resume` — requeue expired leases and drain; this is the
+  whole crash-recovery story, because the journal replay plus the store
+  already encode everything else;
+* :meth:`Fleet.results` — payloads for a sweep, in submission order,
+  read back from the store.
+
+A fleet directory is self-describing::
+
+    <root>/journal.jsonl   operation log (the queue)
+    <root>/journal.lock    writer mutex (flock)
+    <root>/store/          content-addressed results (ResultCache layout)
+    <root>/events.jsonl    telemetry bus (fleet_* + per-job events)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..obs.bus import EventBus
+from ..runner.spec import JobSpec
+from .queue import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL, JobQueue
+from .store import ResultStore
+from .transport import LocalTransport
+from .worker import FleetWorker, resolve_fleet_bus
+
+__all__ = ["SubmitReceipt", "Fleet", "resolve_fleet"]
+
+#: environment variable naming a default fleet directory (CLI / sweeps)
+FLEET_ENV = "REPRO_FLEET"
+
+
+@dataclass
+class SubmitReceipt:
+    """What :meth:`Fleet.submit` accepted, per sweep."""
+
+    sweep: str
+    keys: List[str] = field(default_factory=list)  # submit order, all points
+    submitted: int = 0  # newly journaled as pending
+    deduped: int = 0  # acknowledged from the store without running
+    known: int = 0  # already in this fleet's queue (resubmission)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-clean receipt (for ``submit --json`` and bus payloads)."""
+        return {
+            "sweep": self.sweep,
+            "jobs": len(self.keys),
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "known": self.known,
+        }
+
+
+class Fleet:
+    """One fleet directory's scheduler-side handle."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        store: Optional[Union[str, Path, ResultStore]] = None,
+        bus=None,
+        ttl: float = DEFAULT_TTL,
+        checkpoint: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        """Open (creating if needed) the fleet at *root*.
+
+        *store* defaults to ``<root>/store`` but may point anywhere — in
+        particular at an existing runner cache directory, which makes
+        every previously cached point a submit-time dedupe.  *ttl*,
+        *checkpoint* and *max_attempts* become the defaults for workers
+        this fleet launches.
+        """
+        self.root = Path(root)
+        if isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store if store is not None
+                                     else self.root / "store")
+        self.ttl = float(ttl)
+        self.checkpoint = checkpoint
+        self.max_attempts = int(max_attempts)
+        self.bus_path = resolve_fleet_bus(self.root, bus)
+        self.queue = JobQueue(self.root, max_attempts=max_attempts)
+        self._sweep_counter = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, jobs: Iterable[Union[JobSpec, Tuple[str, Dict]]], *,
+               sweep: Optional[str] = None, priority: int = 0) -> SubmitReceipt:
+        """Enqueue *jobs* (specs or ``(kind, params)`` pairs) as one sweep.
+
+        Dedupe happens here, not in workers: a job whose content key is
+        already present in the store is journaled and immediately
+        acknowledged ``done(store="hit")``, so drains converge without
+        touching it.  Re-submitting an in-flight sweep is idempotent by
+        key (counted in ``known``), which is how a crashed *submitter*
+        recovers: just run the same submit again.
+        """
+        if sweep is None:
+            sweep = self._fresh_sweep_name()
+        receipt = SubmitReceipt(sweep=sweep)
+        for item in jobs:
+            spec = item if isinstance(item, JobSpec) else JobSpec(*item)
+            key = spec.cache_key
+            receipt.keys.append(key)
+            fresh = self.queue.submit(key, spec.kind, dict(spec.params),
+                                      sweep=sweep, priority=priority)
+            if not fresh:
+                receipt.known += 1
+                continue
+            if self.store.contains(spec):
+                self.queue.done(key, "scheduler", store="hit")
+                receipt.deduped += 1
+            else:
+                receipt.submitted += 1
+        self._emit("fleet_submitted", sweep=sweep, jobs=len(receipt.keys),
+                   deduped=receipt.deduped)
+        self._emit_queue()
+        return receipt
+
+    def _fresh_sweep_name(self) -> str:
+        """Generate a sweep name unique across processes and restarts."""
+        self._sweep_counter += 1
+        return (f"sweep-{os.getpid()}-{int(time.time() * 1000):x}"
+                f"-{self._sweep_counter}")
+
+    # ------------------------------------------------------------------
+    def drain(self, *, workers: int = 0, max_respawns: Optional[int] = None,
+              poll: float = 0.1, status_every: float = 1.0) -> Dict[str, int]:
+        """Run workers until every job is terminal; returns final counts.
+
+        ``workers=0`` drains in-process (serial, debuggable — the exact
+        worker loop, same telemetry).  ``workers=N`` launches a
+        :class:`LocalTransport` pool; workers that die (crash, OOM,
+        ``kill -9``) are detected by reaping and respawned up to
+        *max_respawns* times (default ``4 * workers``) — their expired
+        leases requeue via the normal TTL path either way.  While
+        draining, a ``fleet_queue`` depth snapshot is emitted every
+        *status_every* seconds for the live dashboard.
+        """
+        if workers <= 0:
+            worker = FleetWorker(
+                self.root, store=self.store, ttl=self.ttl,
+                checkpoint=self.checkpoint, bus=self._bus_arg(),
+                max_attempts=self.max_attempts,
+            )
+            worker.run(exit_when_drained=True)
+            self.queue.sync()
+            self._emit_queue()
+            return self.queue.counts()
+        if max_respawns is None:
+            max_respawns = 4 * workers
+        transport = self.transport()
+        transport.start(workers)
+        respawned = 0
+        last_status = 0.0
+        try:
+            while True:
+                self.queue.requeue_expired()
+                self.queue.sync()
+                now = time.monotonic()
+                if now - last_status >= status_every:
+                    self._emit_queue()
+                    last_status = now
+                if self.queue.drained():
+                    break
+                dead = transport.reap()
+                if dead:
+                    want = min(len(dead), max(0, max_respawns - respawned))
+                    if want:
+                        transport.start(want)
+                        respawned += want
+                    elif not transport.alive():
+                        # every worker is gone and the respawn budget is
+                        # spent: let TTL expiry fail the stuck leases
+                        # rather than spin forever on an undrainable queue
+                        expired = self.queue.requeue_expired()
+                        if self.queue.drained() or (
+                                not expired and not self.queue.counts()["leased"]
+                                and not self.queue.counts()["pending"]):
+                            break
+                        transport.start(1)
+                        respawned += 1
+                time.sleep(poll)
+        finally:
+            transport.stop()
+        self.queue.sync()
+        self._emit_queue()
+        return self.queue.counts()
+
+    def resume(self, *, workers: int = 0, **drain_kwargs) -> Dict[str, int]:
+        """Recover after a crash: requeue expired leases, then drain.
+
+        Nothing else is needed — journal replay reconstructs the queue,
+        finished points are store hits, and half-finished points resume
+        from their :mod:`repro.snapshot` checkpoints inside the workers.
+        """
+        for key in self.queue.requeue_expired():
+            self._emit("fleet_requeued", key=key, reason="lease_expired")
+        return self.drain(workers=workers, **drain_kwargs)
+
+    def transport(self, **worker_kwargs) -> LocalTransport:
+        """A :class:`LocalTransport` preloaded with this fleet's defaults."""
+        kwargs = dict(
+            store=str(self.store.root), ttl=self.ttl,
+            checkpoint=self.checkpoint, bus=self._bus_arg(),
+            max_attempts=self.max_attempts,
+        )
+        kwargs.update(worker_kwargs)
+        return LocalTransport(str(self.root), **kwargs)
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """Queue depths, per-sweep progress, and store traffic, fresh."""
+        self.queue.sync()
+        counts = self.queue.counts()
+        sweeps: Dict[str, Dict[str, int]] = {}
+        fresh = hit = 0
+        for sweep, keys in self.queue.sweeps.items():
+            per = {state: 0 for state in ("pending", "leased", "done", "failed")}
+            for key in keys:
+                per[self.queue.jobs[key].state] += 1
+            sweeps[sweep] = per
+        for job in self.queue.jobs.values():
+            if job.state == "done":
+                if job.store == "hit":
+                    hit += 1
+                else:
+                    fresh += 1
+        return {
+            "root": str(self.root),
+            "counts": counts,
+            "drained": self.queue.drained(),
+            "sweeps": sweeps,
+            "computed": {"fresh": fresh, "hit": hit},
+            "store": self.store.stats.snapshot(),
+        }
+
+    def results(self, sweep: Union[str, SubmitReceipt]) -> List[Dict[str, Any]]:
+        """Per-job outcomes for *sweep*, in submission order.
+
+        *sweep* is a sweep name or a :class:`SubmitReceipt` — pass the
+        receipt when some of your points may have deduped against an
+        *earlier* sweep (they stay attached to the sweep that first
+        submitted them, so the name alone would miss them).  Each entry
+        carries the job's terminal ``state`` plus either the store
+        ``payload`` (done) or the recorded ``error`` (failed / still in
+        flight).
+        """
+        self.queue.sync()
+        keys = (sweep.keys if isinstance(sweep, SubmitReceipt)
+                else self.queue.sweep_keys(sweep))
+        out: List[Dict[str, Any]] = []
+        for key in keys:
+            job = self.queue.jobs[key]
+            entry = (self.store.get(JobSpec(job.kind, job.params))
+                     if job.state == "done" else None)
+            out.append({
+                "key": key,
+                "kind": job.kind,
+                "params": job.params,
+                "state": job.state,
+                "payload": entry["payload"] if entry is not None else None,
+                "error": job.error,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    def _bus_arg(self):
+        """The ``bus=`` value workers should inherit (path or ``False``)."""
+        return self.bus_path if self.bus_path is not None else False
+
+    def _emit(self, event_type: str, **fields) -> None:
+        """Emit one scheduler-side bus event (no-op when the bus is off)."""
+        if self.bus_path is None:
+            return
+        bus = EventBus(self.bus_path, job=None)
+        try:
+            bus.emit(event_type, **fields)
+        finally:
+            bus.close()
+
+    def _emit_queue(self) -> None:
+        """Emit a ``fleet_queue`` depth snapshot for the dashboard."""
+        if self.bus_path is None:
+            return
+        self._emit("fleet_queue", **self.queue.counts())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Fleet root={self.root} {self.queue.counts()}>"
+
+
+def resolve_fleet(fleet=None) -> Optional[Fleet]:
+    """Resolve a ``fleet=`` argument the way ``cache=`` resolves.
+
+    ``None`` consults ``$REPRO_FLEET`` (unset/empty → no fleet),
+    ``False`` forces fleet-less execution, a :class:`Fleet` passes
+    through, and a string/path opens a fleet rooted there.
+    """
+    if fleet is False:
+        return None
+    if isinstance(fleet, Fleet):
+        return fleet
+    if fleet is None:
+        env = os.environ.get(FLEET_ENV, "").strip()
+        if not env:
+            return None
+        fleet = env
+    return Fleet(fleet)

@@ -1,0 +1,119 @@
+"""Worker transports: how the scheduler turns "N workers" into processes.
+
+The scheduler is deliberately ignorant of *where* workers run; it talks
+to a :class:`Transport` — start N workers, tell me who died, stop — and
+everything else (leases, results, telemetry) flows through the shared
+on-disk fabric (journal + store + bus), which any machine that can see
+the directory can join.  :class:`LocalTransport` is the multi-process
+implementation shipped today; a multi-host backend (SSH, a container
+scheduler, ...) would implement the same four methods and change nothing
+else, because workers coordinate exclusively through the filesystem
+fabric, never through the scheduler process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional
+
+from ..runner.executor import _mp_context
+from .worker import work_loop
+
+__all__ = ["Transport", "LocalTransport"]
+
+
+class Transport:
+    """Minimal contract between the scheduler and a worker backend."""
+
+    def start(self, n: int, **worker_kwargs) -> List[str]:
+        """Launch *n* workers; returns their worker ids."""
+        raise NotImplementedError
+
+    def alive(self) -> List[str]:
+        """Ids of workers currently running."""
+        raise NotImplementedError
+
+    def reap(self) -> List[str]:
+        """Collect and return ids of workers that exited since last call."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Terminate every remaining worker (idempotent)."""
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """Workers as local processes (fork where available, like the runner).
+
+    Each worker process runs :func:`repro.fleet.worker.work_loop` against
+    the fleet directory and exits when the queue drains.  Worker death —
+    crash, ``kill -9``, OOM — is detected by :meth:`reap`; recovery is
+    the queue's job (lease expiry), respawn policy the scheduler's.
+
+    The live process handles are exposed as :attr:`procs` so the
+    kill-tolerance tests (and the CI ``fleet-smoke`` job) can SIGKILL
+    real workers mid-flight.
+    """
+
+    def __init__(self, root, **worker_defaults):
+        """Transport over fleet directory *root*; *worker_defaults* are
+        baked into every :func:`work_loop` launch (ttl, checkpoint, ...)."""
+        self.root = root
+        self.worker_defaults = dict(worker_defaults)
+        self.procs: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._ctx = _mp_context()
+        self._counter = 0
+
+    def start(self, n: int, **worker_kwargs) -> List[str]:
+        """Spawn *n* worker processes; returns their worker ids."""
+        kwargs = dict(self.worker_defaults)
+        kwargs.update(worker_kwargs)
+        started: List[str] = []
+        for _ in range(n):
+            worker_id = f"local-{self._counter}"
+            self._counter += 1
+            proc = self._ctx.Process(
+                target=work_loop,
+                args=(self.root, worker_id),
+                kwargs=kwargs,
+                daemon=True,
+                name=f"repro-fleet-{worker_id}",
+            )
+            proc.start()
+            self.procs[worker_id] = proc
+            started.append(worker_id)
+        return started
+
+    def alive(self) -> List[str]:
+        """Worker ids whose processes are still running."""
+        return [wid for wid, p in self.procs.items() if p.is_alive()]
+
+    def reap(self) -> List[str]:
+        """Join and drop exited workers; returns the newly-dead ids."""
+        dead: List[str] = []
+        for wid, proc in list(self.procs.items()):
+            if not proc.is_alive():
+                proc.join()
+                del self.procs[wid]
+                dead.append(wid)
+        return dead
+
+    def stop(self) -> None:
+        """Terminate (then kill) every remaining worker process."""
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                proc.kill()
+                proc.join(timeout=5.0)
+        self.procs.clear()
+
+    def pid_of(self, worker_id: str) -> Optional[int]:
+        """OS pid of a live worker (tests aim their SIGKILLs with this)."""
+        proc = self.procs.get(worker_id)
+        return proc.pid if proc is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LocalTransport alive={self.alive()}>"

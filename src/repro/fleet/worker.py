@@ -1,0 +1,252 @@
+"""Work-stealing fleet worker: lease → run → store → acknowledge.
+
+A worker is a loop over the shared :class:`~repro.fleet.queue.JobQueue`;
+"work stealing" needs no extra machinery because every worker leases
+from the same priority-ordered queue — an idle worker automatically
+picks up whatever sweep has runnable points, whichever process submitted
+it.
+
+One leased job runs exactly like a :mod:`repro.runner` job attempt, by
+construction from the same pieces:
+
+* :func:`repro.obs.runtime.observe_job` + the bus heartbeat thread, so
+  fleet jobs publish the same phase/heartbeat telemetry the dashboard
+  already renders;
+* :func:`repro.snapshot.runtime.checkpoint_scope` over a checkpoint
+  file stored *next to the result's store entry* — a worker killed
+  mid-point leaves its checkpoint behind, the lease expires, and the
+  next worker to lease the point **resumes from the checkpoint instead
+  of restarting it** (bit-identically, per the snapshot guarantee);
+* a lease-renewal daemon thread (its own :class:`JobQueue` instance, so
+  it never races the main loop's state) that extends the lease every
+  ``ttl/3`` seconds while the simulation runs.
+
+Results land in the content-addressed store *before* the ``done``
+acknowledgement is journaled; if the worker dies between the two, the
+re-leased job finds the store entry and acknowledges a hit — the
+at-least-once queue never recomputes a finished point.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..obs.bus import BUS_FILENAME, EventBus, bus_scope, heartbeat_loop
+from ..obs.runtime import observe_job
+from ..runner.executor import record_observation
+from ..runner.registry import resolve_job
+from ..runner.spec import JobSpec
+from ..snapshot.runtime import checkpoint_scope
+from .queue import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL, JobQueue, JobState
+from .store import ResultStore
+
+__all__ = ["FleetWorker", "work_loop", "resolve_fleet_bus"]
+
+#: idle sleep between lease attempts when the queue is busy elsewhere
+_IDLE_POLL = 0.05
+
+
+def resolve_fleet_bus(root: Union[str, Path], bus=None) -> Optional[Path]:
+    """Where a fleet's bus file lives: ``<root>/events.jsonl`` by default.
+
+    Unlike the runner (bus default-off via ``$REPRO_BUS``), a fleet is a
+    long-running service whose whole point includes live visibility, so
+    its bus is **on by default**; pass ``bus=False`` to silence it or an
+    explicit path to relocate it.
+    """
+    if bus is False:
+        return None
+    if bus is not None:
+        return Path(bus).expanduser()
+    return Path(root) / BUS_FILENAME
+
+
+class FleetWorker:
+    """One worker process's (or thread's) lease-run-store loop."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        store: Optional[Union[str, Path, ResultStore]] = None,
+        worker_id: Optional[str] = None,
+        ttl: float = DEFAULT_TTL,
+        checkpoint: Optional[float] = None,
+        bus=None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        self.root = Path(root)
+        if isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store if store is not None
+                                     else self.root / "store")
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.ttl = float(ttl)
+        self.checkpoint = checkpoint
+        self.bus_path = resolve_fleet_bus(self.root, bus)
+        self.queue = JobQueue(self.root, max_attempts=max_attempts)
+        self._renew_queue = JobQueue(self.root, max_attempts=max_attempts)
+        self.jobs_run = 0
+
+    # ------------------------------------------------------------------
+    def run(self, *, exit_when_drained: bool = True,
+            max_jobs: Optional[int] = None, poll: float = _IDLE_POLL) -> int:
+        """Lease and execute jobs until the queue drains; returns jobs run.
+
+        ``exit_when_drained=False`` keeps the worker parked on an empty
+        queue (a long-running service worker awaiting future submits);
+        ``max_jobs`` bounds the loop for tests.
+        """
+        live = EventBus(self.bus_path, job=None) if self.bus_path else None
+        if live is not None:
+            live.emit("fleet_worker", worker=self.worker_id, state="started")
+        try:
+            while max_jobs is None or self.jobs_run < max_jobs:
+                self.queue.requeue_expired()
+                job = self.queue.lease(self.worker_id, ttl=self.ttl)
+                if job is None:
+                    self.queue.sync()
+                    if exit_when_drained and self.queue.drained():
+                        break
+                    time.sleep(poll)
+                    continue
+                if live is not None:
+                    live.emit("fleet_leased", key=job.key,
+                              worker=self.worker_id, expires=job.expires,
+                              attempt=job.attempts)
+                self.run_one(job, live)
+                self.jobs_run += 1
+        finally:
+            if live is not None:
+                live.emit("fleet_worker", worker=self.worker_id, state="exited")
+                live.close()
+        return self.jobs_run
+
+    # ------------------------------------------------------------------
+    def run_one(self, job: JobState, live: Optional[EventBus] = None) -> None:
+        """Execute one leased job and journal its outcome.
+
+        Store-first ordering: the payload is durably stored (and its
+        manifest written) before ``done`` is journaled, so a crash in
+        the gap costs one redundant lease that immediately acknowledges
+        a store hit — never a recompute.
+        """
+        spec = JobSpec(job.kind, job.params)
+        entry = self.store.get(spec)
+        if entry is not None:
+            self.queue.done(job.key, self.worker_id, store="hit")
+            if live is not None:
+                live.emit("fleet_done", key=job.key, worker=self.worker_id,
+                          store="hit")
+            return
+        ckpt_path = (self.store.checkpoint_path_for(spec)
+                     if self.checkpoint else None)
+        t0 = time.monotonic()
+        try:
+            with bus_scope(self.bus_path, job=job.key) as bus, \
+                    observe_job() as obs, \
+                    heartbeat_loop(bus), \
+                    checkpoint_scope(ckpt_path, self.checkpoint) as slot, \
+                    self._renewing(job.key):
+                payload = resolve_job(job.kind)(dict(job.params))
+        except Exception as exc:  # noqa: BLE001 - isolate any job failure
+            error = f"{type(exc).__name__}: {exc}"
+            state = self.queue.fail(job.key, self.worker_id, error)
+            if live is not None:
+                if state == "failed":
+                    live.emit("fleet_failed", key=job.key,
+                              worker=self.worker_id, error=error[:500])
+                else:
+                    live.emit("fleet_requeued", key=job.key,
+                              reason=f"attempt failed: {error[:200]}")
+            return
+        obs_meta = obs.finish()
+        if slot is not None:
+            lineage = slot.summary()
+            if lineage is not None:
+                obs_meta["checkpoint"] = lineage
+            slot.discard()
+        meta = {
+            "events": _events_of(payload),
+            "wall_time": time.monotonic() - t0,
+            "attempts": job.attempts,
+        }
+        self.store.put(spec, payload, meta=meta)
+        record_observation(self.store, spec, meta, payload, obs_meta)
+        self.queue.done(job.key, self.worker_id, store="fresh")
+        if live is not None:
+            live.emit("fleet_done", key=job.key, worker=self.worker_id,
+                      store="fresh")
+
+    # ------------------------------------------------------------------
+    def _renewing(self, key: str):
+        """Context: renew the lease on *key* every ``ttl/3`` wall seconds.
+
+        Runs on a daemon thread with its own queue instance (its journal
+        sync must not race the main loop's).  If a renewal is refused —
+        the lease expired and someone re-leased the key — renewals stop
+        and the worker finishes as a zombie whose eventual ``done`` is
+        still a valid, idempotent acknowledgement.
+        """
+        stop = threading.Event()
+        interval = max(0.05, self.ttl / 3.0)
+
+        def loop() -> None:
+            while not stop.wait(interval):
+                try:
+                    if not self._renew_queue.renew(key, self.worker_id,
+                                                   ttl=self.ttl):
+                        return
+                except OSError:  # pragma: no cover - disk trouble
+                    return
+
+        thread = threading.Thread(target=loop, name="repro-fleet-renew",
+                                  daemon=True)
+
+        class _Scope:
+            def __enter__(self_inner):
+                thread.start()
+                return self_inner
+
+            def __exit__(self_inner, exc_type, exc, tb):
+                stop.set()
+                thread.join(timeout=2.0)
+
+        return _Scope()
+
+
+def _events_of(payload: Any) -> int:
+    """Simulator events reported by a job payload, if it carries any."""
+    if isinstance(payload, dict):
+        v = payload.get("events_processed")
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            return int(v)
+    return 0
+
+
+def work_loop(root: Union[str, Path], worker_id: Optional[str] = None, *,
+              store: Optional[Union[str, Path]] = None,
+              ttl: float = DEFAULT_TTL,
+              checkpoint: Optional[float] = None,
+              bus=None,
+              max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+              exit_when_drained: bool = True,
+              max_jobs: Optional[int] = None) -> int:
+    """Module-level worker entry point (picklable for spawn-start processes).
+
+    Builds a :class:`FleetWorker` over *root* and runs it; this is what
+    :class:`~repro.fleet.transport.LocalTransport` launches in each
+    worker process, and what a future multi-host transport would invoke
+    on remote machines.
+    """
+    worker = FleetWorker(
+        root, store=store, worker_id=worker_id, ttl=ttl,
+        checkpoint=checkpoint, bus=bus, max_attempts=max_attempts,
+    )
+    return worker.run(exit_when_drained=exit_when_drained, max_jobs=max_jobs)

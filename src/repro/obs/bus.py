@@ -45,7 +45,19 @@ Schema v1 event types and their payload fields (beyond ``v``/``type``/
 ``phase_started``   ``key, phase``
 ``phase_finished``  ``key, phase, seconds``
 ``heartbeat``       ``key, sim_now, events, sched, peak_rss_kb``
+``fleet_submitted`` ``sweep, jobs, deduped`` (store hits at submit)
+``fleet_leased``    ``key, worker, expires, attempt``
+``fleet_requeued``  ``key, reason`` (lease expiry / failed attempt)
+``fleet_done``      ``key, worker, store`` (``fresh`` or ``hit``)
+``fleet_failed``    ``key, worker, error`` (attempt budget exhausted)
+``fleet_worker``    ``worker, state`` (``started``/``exited``/``killed``)
+``fleet_queue``     ``pending, leased, done, failed`` (+ ``store``)
 ==================  ==================================================
+
+The ``fleet_*`` family is published by :mod:`repro.fleet` workers and
+schedulers over the same file: ``fleet_queue`` is a periodic whole-queue
+depth snapshot (what the dashboard's queue chips render), the rest are
+per-transition records mirroring the fleet journal.
 
 ``heartbeat.sched`` is the simulator's monotone event sequence counter —
 a live proxy for work done that the hot loop already maintains, so
@@ -103,6 +115,14 @@ EVENT_TYPES: Dict[str, tuple] = {
     "phase_started": ("key", "phase"),
     "phase_finished": ("key", "phase", "seconds"),
     "heartbeat": ("key", "sim_now", "events", "sched", "peak_rss_kb"),
+    # fleet (repro.fleet) lifecycle — mirrors the fleet journal
+    "fleet_submitted": ("sweep", "jobs", "deduped"),
+    "fleet_leased": ("key", "worker", "expires", "attempt"),
+    "fleet_requeued": ("key", "reason"),
+    "fleet_done": ("key", "worker", "store"),
+    "fleet_failed": ("key", "worker", "error"),
+    "fleet_worker": ("worker", "state"),
+    "fleet_queue": ("pending", "leased", "done", "failed"),
 }
 
 _TRUTHY = {"1", "on", "true", "yes"}

@@ -19,10 +19,17 @@ results in the same (spec) order whether executed serially, in parallel,
 or from cache — enforced by ``tests/runner/``.
 """
 
-from .cache import ResultCache, default_cache_dir, resolve_cache
+from .cache import ResultCache, default_cache_dir, migrate_cache, resolve_cache
 from .executor import JobResult, resolve_workers, run_jobs
 from .registry import register, registered_kinds, resolve_job
-from .spec import CACHE_SCHEMA, JobSpec, canonical_json, dumbbell_spec, parking_lot_spec
+from .spec import (
+    CACHE_SCHEMA,
+    JobSpec,
+    canonical_json,
+    content_key,
+    dumbbell_spec,
+    parking_lot_spec,
+)
 from .telemetry import (
     RunnerStats,
     format_eta,
@@ -38,8 +45,10 @@ __all__ = [
     "ResultCache",
     "RunnerStats",
     "canonical_json",
+    "content_key",
     "default_cache_dir",
     "dumbbell_spec",
+    "migrate_cache",
     "format_eta",
     "parking_lot_spec",
     "progress_line",

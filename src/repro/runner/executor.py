@@ -36,7 +36,7 @@ from .registry import resolve_job
 from .spec import JobSpec
 from .telemetry import RunnerStats, resolve_progress
 
-__all__ = ["JobResult", "run_jobs", "resolve_workers"]
+__all__ = ["JobResult", "record_observation", "run_jobs", "resolve_workers"]
 
 #: scheduler poll interval while waiting on worker processes (seconds)
 _POLL_INTERVAL = 0.005
@@ -276,7 +276,7 @@ def run_jobs(
                 stats.peak_rss_kb = max(stats.peak_rss_kb, rss)
         if store is not None:
             store.put(spec, payload, meta=meta)
-            _write_observation(store, spec, meta, payload, obs_meta)
+            record_observation(store, spec, meta, payload, obs_meta)
         settle(index, JobResult(
             spec, "ok", value=payload, attempts=attempt, wall_time=wall, meta=meta,
         ))
@@ -306,11 +306,13 @@ def run_jobs(
     return [r for r in results if r is not None]
 
 
-def _write_observation(store, spec, meta, payload, obs_meta) -> None:
+def record_observation(store, spec, meta, payload, obs_meta) -> None:
     """Persist the job's run manifest (and trace) next to its cache entry.
 
     Manifest writes are best-effort: a full disk or permission hiccup on
     the forensic record must not fail a job whose payload already landed.
+    Shared with :mod:`repro.fleet.worker`, which stores results through
+    the same content-addressed layout.
     """
     obs_meta = dict(obs_meta) if obs_meta else {}
     trace_records = obs_meta.pop("trace_records", None)

@@ -4,11 +4,20 @@ A :class:`JobSpec` is a pure-data description of one simulation job: a
 registered job *kind* (see :mod:`repro.runner.registry`) plus a
 JSON-serializable parameter mapping.  Because the simulator is a
 deterministic function of its parameters and seed, the spec fully
-determines the result — which is what makes both process fan-out and
-on-disk caching safe: the cache key is a SHA-256 over the canonical JSON
-encoding of the spec, salted with the package version and a cache schema
-number so that result-format or engine-version changes invalidate stale
-entries instead of silently serving them.
+determines the result — which is what makes process fan-out, on-disk
+caching and the fleet's cross-sweep dedupe safe: the cache key is a
+**content address**, a SHA-256 over the canonical JSON encoding of
+``kind`` + ``params`` plus a cache schema number.  Identical points hash
+identically everywhere — across sweeps, across fleet directories, and
+across package versions — so a result computed once is served forever;
+``CACHE_SCHEMA`` is the one deliberate invalidation knob, bumped when
+the payload layout (or the keying itself) changes incompatibly.
+
+Historical note: schema 1 additionally salted keys with
+``repro.__version__``, which quarantined every version bump into a fresh
+cache namespace and defeated cross-sweep dedupe.  Schema 2 dropped the
+salt; :func:`repro.runner.cache.migrate_cache` rehashes old cache
+directories in place, one-shot.
 """
 
 from __future__ import annotations
@@ -18,18 +27,30 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
-from .. import __version__
-
 __all__ = [
     "CACHE_SCHEMA",
     "JobSpec",
     "canonical_json",
+    "content_key",
     "dumbbell_spec",
     "parking_lot_spec",
 ]
 
-#: bump when the payload layout of cached results changes incompatibly
-CACHE_SCHEMA = 1
+#: bump when the payload layout of cached results (or the keying scheme)
+#: changes incompatibly; 2 = content-addressed keys (no version salt)
+CACHE_SCHEMA = 2
+
+
+def content_key(kind: str, params: Dict[str, Any]) -> str:
+    """Content address of one job: hex SHA-256 of kind + canonical params.
+
+    This is the single keying function shared by the runner's
+    :class:`~repro.runner.cache.ResultCache` and the fleet's
+    :class:`~repro.fleet.store.ResultStore` — the reason a point finished
+    under either is a cache hit for both.
+    """
+    material = f"{CACHE_SCHEMA}|{kind}|{canonical_json(params)}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def canonical_json(obj: Any) -> str:
@@ -56,12 +77,13 @@ class JobSpec:
 
     @property
     def cache_key(self) -> str:
-        """Hex SHA-256 uniquely identifying this job's result."""
-        material = (
-            f"{CACHE_SCHEMA}|{__version__}|{self.kind}|"
-            f"{canonical_json(self.params)}"
-        )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+        """Content address uniquely identifying this job's result.
+
+        Purely a function of ``kind`` + ``params`` (via
+        :func:`content_key`), so identical points dedupe across sweeps
+        and package versions, not just within one run.
+        """
+        return content_key(self.kind, self.params)
 
     def describe(self) -> str:
         """Short human label for logs: kind plus the identifying params."""

@@ -5,7 +5,7 @@
 
 ==================  ==================================================
 ``/``               the dashboard page (inline HTML/CSS/JS, no assets)
-``/api/runs``       run-level summary + job-state counts
+``/api/runs``       run-level summary + job-state counts + fleet rollup
 ``/api/jobs``       one JSON record per job key
 ``/api/metrics``    per-scheme rollup from the manifests on disk
 ``/api/history``    tail of the bench-history trajectory (if given)
@@ -44,11 +44,14 @@ class MonitorServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], view: RunView) -> None:
-        """Bind *address* and serve *view*."""
+    def __init__(self, address: Tuple[str, int], view: RunView,
+                 keepalive_every: float = 15.0) -> None:
+        """Bind *address* and serve *view*; *keepalive_every* sets the
+        idle interval between SSE comment keepalives on ``/events``."""
         super().__init__(address, DashboardHandler)
         self.view = view
         self.stop_event = threading.Event()
+        self.keepalive_every = float(keepalive_every)
 
     def shutdown(self) -> None:
         """Stop serving and unblock any in-flight ``/events`` streams."""
@@ -112,7 +115,8 @@ class DashboardHandler(BaseHTTPRequestHandler):
         self.end_headers()
         try:
             stream = self.server.view.tail_events(
-                from_start=replay, stop=self.server.stop_event
+                from_start=replay, stop=self.server.stop_event,
+                keepalive_every=self.server.keepalive_every,
             )
             for kind, text in stream:
                 if kind == "event":
@@ -125,13 +129,14 @@ class DashboardHandler(BaseHTTPRequestHandler):
 
 
 def make_server(run_dir, host: str = "127.0.0.1", port: int = 0,
-                history=None) -> MonitorServer:
+                history=None, keepalive_every: float = 15.0) -> MonitorServer:
     """Build a bound (not yet serving) :class:`MonitorServer`.
 
     ``port=0`` picks a free ephemeral port — read it back from
     ``server.server_address`` (the CI smoke test relies on this).
     """
-    return MonitorServer((host, port), RunView(run_dir, history=history))
+    return MonitorServer((host, port), RunView(run_dir, history=history),
+                         keepalive_every=keepalive_every)
 
 
 def serve_in_background(run_dir, host: str = "127.0.0.1", port: int = 0,
@@ -252,6 +257,11 @@ td.key { font-family: ui-monospace, monospace; font-size: 12px;
 
 <div class="tiles" id="tiles"></div>
 
+<section id="fleetSec" hidden>
+  <h2>Fleet queue</h2>
+  <div class="tiles" id="fleetTiles"></div>
+</section>
+
 <section>
   <h2>Jobs</h2>
   <div id="jobs"></div>
@@ -316,6 +326,16 @@ async function poll() {
       tile("running", c.running + c.retrying) + tile("done", c.done) +
       tile("failed", c.failed) + tile("cached", c.cached) +
       tile("manifests", metrics.jobs);
+    const fl = runs.fleet;
+    $("fleetSec").hidden = !fl;
+    if (fl) {
+      const q = fl.queue || {};
+      $("fleetTiles").innerHTML =
+        tile("pending", q.pending) + tile("leased", q.leased) +
+        tile("done", q.done) + tile("failed", q.failed) +
+        tile("fresh", fl.done_fresh) + tile("store hits", fl.done_hit) +
+        tile("requeued", fl.requeued) + tile("workers", fl.workers_alive);
+    }
     $("jobs").innerHTML = table(
       ["key", "scheme", "seed", "state", "phase", "sim t", "ev/s", "wall s"],
       jobs.jobs.slice(0, 100).map((j) => [

@@ -56,6 +56,16 @@ class RunView:
         self._jobs: Dict[str, dict] = {}
         self._runs: List[dict] = []
         self._event_count = 0
+        self._fleet: Dict[str, object] = {
+            "seen": False,  # any fleet_* event observed yet?
+            "queue": None,  # latest fleet_queue depth snapshot
+            "workers": {},  # worker id -> "started" | "exited"
+            "sweeps": [],  # fleet_submitted receipts, submit order
+            "done_fresh": 0,
+            "done_hit": 0,
+            "failed": 0,
+            "requeued": 0,
+        }
 
     # ------------------------------------------------------------------
     # bus tailing
@@ -108,6 +118,9 @@ class RunView:
                     run["finished_ts"] = ev.get("ts")
                     run["stats"] = ev.get("stats")
                     break
+            return
+        if etype.startswith("fleet_"):
+            self._apply_fleet(etype, ev)
             return
         key = ev.get("key")
         if key is None:
@@ -163,8 +176,71 @@ class RunView:
                     and ts > prev_ts and sched >= prev_sched):
                 job["rate"] = (sched - prev_sched) / (ts - prev_ts)
 
+    def _apply_fleet(self, etype: str, ev: dict) -> None:
+        """Fold one ``fleet_*`` bus event into the fleet rollup.
+
+        Fleet events describe the *queue*, not individual runner jobs —
+        their ``key`` fields are content-addressed store keys, so they
+        are aggregated here instead of entering the per-job table (the
+        per-job telemetry still arrives separately from inside each
+        leased run).
+        """
+        fl = self._fleet
+        fl["seen"] = True
+        if etype == "fleet_queue":
+            fl["queue"] = {
+                state: ev.get(state)
+                for state in ("pending", "leased", "done", "failed")
+            }
+        elif etype == "fleet_worker":
+            fl["workers"][str(ev.get("worker"))] = ev.get("state")
+        elif etype == "fleet_submitted":
+            fl["sweeps"].append({
+                "sweep": ev.get("sweep"),
+                "jobs": ev.get("jobs"),
+                "deduped": ev.get("deduped"),
+                "ts": ev.get("ts"),
+            })
+        elif etype == "fleet_done":
+            if ev.get("store") == "hit":
+                fl["done_hit"] += 1
+            else:
+                fl["done_fresh"] += 1
+        elif etype == "fleet_failed":
+            fl["failed"] += 1
+        elif etype == "fleet_requeued":
+            fl["requeued"] += 1
+
     # ------------------------------------------------------------------
     # API payloads
+
+    def fleet(self) -> Optional[dict]:
+        """Fleet rollup for ``/api/runs``; ``None`` until fleet events show.
+
+        ``queue`` is the latest ``fleet_queue`` depth snapshot,
+        ``workers_alive`` counts workers that started and have not
+        emitted their exit event (a SIGKILLed worker therefore stays
+        "alive" here until its leases expire — exactly the ambiguity the
+        queue's TTL machinery exists to resolve).
+        """
+        with self._lock:
+            return self._fleet_locked()
+
+    def _fleet_locked(self) -> Optional[dict]:
+        fl = self._fleet
+        if not fl["seen"]:
+            return None
+        workers = fl["workers"]
+        return {
+            "queue": dict(fl["queue"]) if fl["queue"] else None,
+            "workers_alive": sum(1 for s in workers.values() if s == "started"),
+            "workers_seen": len(workers),
+            "sweeps": [dict(s) for s in fl["sweeps"]],
+            "done_fresh": fl["done_fresh"],
+            "done_hit": fl["done_hit"],
+            "failed": fl["failed"],
+            "requeued": fl["requeued"],
+        }
 
     def runs(self) -> dict:
         """``/api/runs`` payload: run-level summary plus job-state counts."""
@@ -182,6 +258,7 @@ class RunView:
                 "runs": [dict(r) for r in self._runs],
                 "job_counts": counts,
                 "jobs_seen": len(self._jobs),
+                "fleet": self._fleet_locked(),
             }
 
     def jobs(self) -> List[dict]:
@@ -233,14 +310,17 @@ class RunView:
     # SSE support
 
     def tail_events(self, from_start: bool = False, poll: float = 0.5,
-                    stop=None):
+                    stop=None, keepalive_every: float = 15.0):
         """Yield ``(kind, text)`` pairs for an SSE stream, forever.
 
         *kind* is ``"event"`` (text = one raw JSON line from the bus) or
         ``"keepalive"``.  Starts at end-of-file unless *from_start*;
         polls every *poll* seconds; *stop* is an optional
         ``threading.Event`` that ends the generator (tests use it — HTTP
-        clients just disconnect).
+        clients just disconnect).  A keepalive is yielded after every
+        *keepalive_every* seconds without bus traffic so proxies and
+        slow consumers keep idle connections open (tests shrink it to
+        exercise the path without waiting 15 real seconds).
         """
         offset = 0 if from_start else self._size()
         tail = b""
@@ -268,7 +348,7 @@ class RunView:
                     continue
             time.sleep(poll)
             idle += poll
-            if idle >= 15.0:
+            if idle >= keepalive_every:
                 yield "keepalive", ""
                 idle = 0.0
 

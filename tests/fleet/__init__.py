@@ -1,0 +1,1 @@
+"""Tests for the repro.fleet crash-safe sweep fabric."""

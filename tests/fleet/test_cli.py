@@ -1,0 +1,94 @@
+"""``python -m repro.fleet`` CLI: submit/status/drain/resume round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.__main__ import main
+
+ECHO = "tests.runner.jobs:echo"
+BOOM = "tests.runner.jobs:boom"
+
+
+def _write_jobs(path, jobs):
+    path.write_text(json.dumps(jobs))
+    return str(path)
+
+
+def test_submit_drain_status_roundtrip(tmp_path, capsys):
+    root = str(tmp_path / "fleet")
+    jobs = _write_jobs(tmp_path / "jobs.json",
+                       [{"kind": ECHO, "params": {"value": i}}
+                        for i in range(3)])
+    assert main(["submit", root, "--jobs", jobs, "--sweep", "s",
+                 "--json"]) == 0
+    receipt = json.loads(capsys.readouterr().out)
+    assert receipt == {"sweep": "s", "jobs": 3, "submitted": 3,
+                       "deduped": 0, "known": 0}
+
+    assert main(["drain", root, "--json"]) == 0
+    counts = json.loads(capsys.readouterr().out)
+    assert counts == {"pending": 0, "leased": 0, "done": 3, "failed": 0}
+
+    assert main(["status", root, "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["drained"] is True
+    assert status["computed"] == {"fresh": 3, "hit": 0}
+    assert status["sweeps"]["s"]["done"] == 3
+
+
+def test_resume_converges_and_is_idempotent(tmp_path, capsys):
+    root = str(tmp_path / "fleet")
+    jobs = _write_jobs(tmp_path / "jobs.json",
+                       [{"kind": ECHO, "params": {"value": 1}}])
+    main(["submit", root, "--jobs", jobs])
+    capsys.readouterr()
+    assert main(["resume", root, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["done"] == 1
+    assert main(["resume", root, "--json"]) == 0  # nothing left: still fine
+    assert json.loads(capsys.readouterr().out)["done"] == 1
+
+
+def test_drain_exit_code_reflects_failures(tmp_path, capsys):
+    root = str(tmp_path / "fleet")
+    jobs = _write_jobs(tmp_path / "jobs.json", [{"kind": BOOM, "params": {}}])
+    main(["submit", root, "--jobs", jobs])
+    capsys.readouterr()
+    assert main(["drain", root, "--max-attempts", "2", "--json"]) == 1
+    counts = json.loads(capsys.readouterr().out)
+    assert counts["failed"] == 1
+
+
+def test_submit_from_stdin(tmp_path, capsys, monkeypatch):
+    import io
+    monkeypatch.setattr("sys.stdin",
+                        io.StringIO(json.dumps(
+                            [{"kind": ECHO, "params": {"value": 5}}])))
+    assert main(["submit", str(tmp_path / "fleet"), "--jobs", "-",
+                 "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["submitted"] == 1
+
+
+def test_submit_rejects_malformed_jobs(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"kind": ECHO}))  # not an array
+    with pytest.raises(SystemExit, match="JSON array"):
+        main(["submit", str(tmp_path / "fleet"), "--jobs", str(bad)])
+    bad.write_text(json.dumps([{"params": {}}]))  # entry without a kind
+    with pytest.raises(SystemExit, match="entry 0"):
+        main(["submit", str(tmp_path / "fleet"), "--jobs", str(bad)])
+
+
+def test_status_human_readable(tmp_path, capsys):
+    root = str(tmp_path / "fleet")
+    jobs = _write_jobs(tmp_path / "jobs.json",
+                       [{"kind": ECHO, "params": {"value": 1}}])
+    main(["submit", root, "--jobs", jobs, "--sweep", "demo"])
+    main(["drain", root])
+    capsys.readouterr()
+    assert main(["status", root]) == 0
+    out = capsys.readouterr().out
+    assert "drained: True" in out
+    assert "sweep demo" in out

@@ -1,0 +1,136 @@
+"""Queue state-machine invariants: leasing, expiry, replay equivalence."""
+
+from __future__ import annotations
+
+from repro.fleet.queue import JobQueue
+
+
+def test_submit_is_idempotent_by_key(tmp_path):
+    q = JobQueue(tmp_path)
+    assert q.submit("k1", "kind", {"x": 1}) is True
+    assert q.submit("k1", "kind", {"x": 1}) is False
+    assert q.counts()["pending"] == 1
+
+
+def test_lease_orders_by_priority_then_fifo(tmp_path):
+    q = JobQueue(tmp_path)
+    q.submit("low1", "k", {}, priority=0)
+    q.submit("hi", "k", {}, priority=5)
+    q.submit("low2", "k", {}, priority=0)
+    order = [q.lease("w").key for _ in range(3)]
+    assert order == ["hi", "low1", "low2"]
+
+
+def test_no_double_lease_across_instances(tmp_path):
+    """Two queue handles (two processes) can never both claim one key."""
+    q1 = JobQueue(tmp_path)
+    q2 = JobQueue(tmp_path)
+    q1.submit("k1", "kind", {})
+    job1 = q1.lease("workerA")
+    assert job1 is not None and job1.worker == "workerA"
+    # q2 has a stale view (pending) until its lease() syncs under the lock
+    assert q2.lease("workerB") is None
+
+
+def test_lease_expiry_requeues_and_releases(tmp_path):
+    q = JobQueue(tmp_path)
+    q.submit("k1", "kind", {})
+    job = q.lease("dead-worker", ttl=10.0, now=100.0)
+    assert job.attempts == 1
+    assert q.requeue_expired(now=105.0) == []  # still within TTL
+    assert q.requeue_expired(now=111.0) == ["k1"]
+    j2 = q.lease("live-worker", now=112.0)
+    assert j2 is not None and j2.worker == "live-worker" and j2.attempts == 2
+
+
+def test_renew_extends_only_the_holder(tmp_path):
+    q = JobQueue(tmp_path)
+    q.submit("k1", "kind", {})
+    q.lease("w1", ttl=10.0, now=0.0)
+    assert q.renew("k1", "w1", ttl=10.0, now=8.0) is True
+    assert q.jobs["k1"].expires == 18.0
+    assert q.renew("k1", "intruder", ttl=10.0, now=8.0) is False
+    # after expiry + re-lease, the original holder's renewals are refused
+    q.requeue_expired(now=30.0)
+    q.lease("w2", ttl=10.0, now=30.0)
+    assert q.renew("k1", "w1", now=31.0) is False
+
+
+def test_attempts_count_once_per_lease(tmp_path):
+    q = JobQueue(tmp_path, max_attempts=5)
+    q.submit("k1", "kind", {})
+    states = []
+    for _ in range(5):
+        job = q.lease("w")
+        assert job is not None
+        states.append((job.attempts, q.fail("k1", "w", "boom")))
+    assert states == [(1, "pending"), (2, "pending"), (3, "pending"),
+                      (4, "pending"), (5, "failed")]
+    assert q.lease("w") is None
+    assert "boom" in q.jobs["k1"].error
+
+
+def test_expiry_burnout_marks_failed(tmp_path):
+    q = JobQueue(tmp_path, max_attempts=2)
+    q.submit("k1", "kind", {})
+    q.lease("w", ttl=1.0, now=0.0)
+    q.requeue_expired(now=2.0)
+    q.lease("w", ttl=1.0, now=2.0)
+    q.requeue_expired(now=4.0)  # attempts == max_attempts: terminal
+    assert q.jobs["k1"].state == "failed"
+    assert "lease expired" in q.jobs["k1"].error
+    assert q.drained()
+
+
+def test_done_always_wins_even_from_zombies(tmp_path):
+    """An expired worker's late result is accepted (deterministic jobs)."""
+    q = JobQueue(tmp_path)
+    q.submit("k1", "kind", {})
+    q.lease("zombie", ttl=1.0, now=0.0)
+    q.requeue_expired(now=5.0)
+    q.lease("live", ttl=30.0, now=5.0)
+    q.done("k1", "zombie", store="fresh")
+    assert q.jobs["k1"].state == "done"
+    # the live worker's own done is an idempotent no-op
+    q.done("k1", "live", store="fresh")
+    assert q.jobs["k1"].state == "done"
+    assert len([r for r in q.journal.read_all() if r["op"] == "done"]) == 1
+
+
+def test_replay_matches_live_state(tmp_path):
+    """A fresh process reconstructs exactly the live instance's state."""
+    q = JobQueue(tmp_path)
+    for i in range(4):
+        q.submit(f"k{i}", "kind", {"i": i}, sweep="s", priority=i % 2)
+    q.lease("w1", ttl=30.0, now=0.0)
+    q.lease("w2", ttl=1.0, now=0.0)
+    q.requeue_expired(now=10.0)
+    leased = next(k for k, j in q.jobs.items() if j.state == "leased")
+    q.done(leased, "w1")
+    fresh = JobQueue(tmp_path)
+    assert fresh.counts() == q.counts()
+    for key, job in q.jobs.items():
+        other = fresh.jobs[key]
+        assert (job.state, job.worker, job.attempts, job.store) == \
+            (other.state, other.worker, other.attempts, other.store)
+    assert fresh.sweep_keys("s") == q.sweep_keys("s")
+
+
+def test_sweep_keys_preserve_submission_order(tmp_path):
+    q = JobQueue(tmp_path)
+    for i in range(5):
+        q.submit(f"k{i}", "kind", {}, sweep="mine", priority=5 - i)
+    q.submit("other", "kind", {}, sweep="theirs")
+    assert q.sweep_keys("mine") == [f"k{i}" for i in range(5)]
+    assert q.sweep_keys("nope") == []
+
+
+def test_drained_requires_all_terminal(tmp_path):
+    q = JobQueue(tmp_path)
+    assert q.drained()  # empty queue is drained
+    q.submit("k1", "kind", {})
+    assert not q.drained()
+    q.lease("w")
+    assert not q.drained()
+    q.done("k1", "w")
+    assert q.drained()

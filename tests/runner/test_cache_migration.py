@@ -1,0 +1,111 @@
+"""Schema-1 → schema-2 cache migration: rehash in place, one shot."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.obs.manifest import MANIFEST_SUFFIX
+from repro.runner.cache import (
+    CHECKPOINT_SUFFIX,
+    SCHEMA_MARKER,
+    ResultCache,
+    migrate_cache,
+)
+from repro.runner.spec import CACHE_SCHEMA, JobSpec, canonical_json, content_key
+
+
+def _old_key(kind: str, params: dict, version: str = "0.9.0") -> str:
+    """A schema-1 key: salted with the package version of the writer."""
+    material = f"1|{version}|{kind}|{canonical_json(params)}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _write_legacy_entry(root, kind, params, payload, version="0.9.0"):
+    """Plant a cache entry exactly as a schema-1 runner laid it out."""
+    key = _old_key(kind, params, version)
+    path = root / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "key": key, "kind": kind, "params": params,
+        "payload": payload, "meta": {},
+    }))
+    return key, path
+
+
+def test_content_key_is_version_free():
+    """Schema 2's whole point: the same content, the same key, forever."""
+    key = content_key("dumbbell", {"scheme": "pert", "x": 1})
+    assert key == JobSpec("dumbbell", {"x": 1, "scheme": "pert"}).cache_key
+    material = f"{CACHE_SCHEMA}|dumbbell|" + canonical_json(
+        {"scheme": "pert", "x": 1})
+    assert key == hashlib.sha256(material.encode()).hexdigest()
+
+
+def test_migrate_rehashes_legacy_entries(tmp_path):
+    params = {"scheme": "pert", "duration": 5.0}
+    _write_legacy_entry(tmp_path, "dumbbell", params, {"utilization": 0.9})
+    moved = migrate_cache(tmp_path)
+    assert moved == 1
+    cache = ResultCache(tmp_path)
+    entry = cache.get(JobSpec("dumbbell", params))
+    assert entry is not None
+    assert entry["payload"] == {"utilization": 0.9}
+    assert entry["key"] == content_key("dumbbell", params)
+
+
+def test_opening_a_legacy_dir_migrates_automatically(tmp_path):
+    params = {"x": 1}
+    old_key, old_path = _write_legacy_entry(tmp_path, "kind", params, {"v": 2})
+    cache = ResultCache(tmp_path)  # constructor runs the one-shot migration
+    assert cache.get(JobSpec("kind", params))["payload"] == {"v": 2}
+    assert not old_path.exists()
+    marker = json.loads((tmp_path / SCHEMA_MARKER).read_text())
+    assert marker == {"cache_schema": CACHE_SCHEMA}
+
+
+def test_migration_is_one_shot_and_idempotent(tmp_path):
+    params = {"x": 1}
+    _write_legacy_entry(tmp_path, "kind", params, {"v": 1})
+    assert migrate_cache(tmp_path) == 1
+    assert migrate_cache(tmp_path) == 0  # everything already content-keyed
+    # the marker short-circuits the scan on later opens: plant a fresh
+    # legacy entry and confirm ResultCache leaves it alone
+    _write_legacy_entry(tmp_path, "kind", {"y": 2}, {"v": 2})
+    ResultCache(tmp_path)
+    assert migrate_cache(tmp_path) == 1  # an explicit call still migrates
+
+
+def test_migration_moves_sibling_files(tmp_path):
+    params = {"x": 3}
+    old_key, old_path = _write_legacy_entry(tmp_path, "kind", params, {})
+    manifest = old_path.parent / f"{old_key}{MANIFEST_SUFFIX}"
+    manifest.write_text(json.dumps({"key": old_key, "kind": "kind"}))
+    ckpt = old_path.parent / f"{old_key}{CHECKPOINT_SUFFIX}"
+    ckpt.write_bytes(b"checkpoint-bytes")
+    migrate_cache(tmp_path)
+    cache = ResultCache(tmp_path)
+    spec = JobSpec("kind", params)
+    new_manifest = cache.manifest_path_for(spec)
+    assert json.loads(new_manifest.read_text())["key"] == spec.cache_key
+    assert cache.checkpoint_path_for(spec).read_bytes() == b"checkpoint-bytes"
+    assert not manifest.exists() and not ckpt.exists()
+
+
+def test_migration_skips_corrupt_and_foreign_files(tmp_path):
+    (tmp_path / "ab").mkdir(parents=True)
+    corrupt = tmp_path / "ab" / ("a" * 64 + ".json")
+    corrupt.write_text("{not json")
+    foreign = tmp_path / "ab" / "notes.json"
+    foreign.write_text(json.dumps({"hello": 1}))
+    assert migrate_cache(tmp_path) == 0
+    assert corrupt.exists() and foreign.exists()
+
+
+def test_current_entries_survive_migration_untouched(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = JobSpec("kind", {"x": 1})
+    path = cache.put(spec, {"v": 1})
+    before = path.read_bytes()
+    assert migrate_cache(tmp_path) == 0
+    assert path.read_bytes() == before

@@ -95,6 +95,43 @@ def test_runview_failed_job_and_torn_tail(tmp_path):
     assert view.runs()["jobs_seen"] == 2
 
 
+def test_runview_aggregates_fleet_events(tmp_path):
+    bus = EventBus(tmp_path / "events.jsonl")
+    bus.emit("fleet_submitted", sweep="s", jobs=3, deduped=1)
+    bus.emit("fleet_queue", pending=2, leased=0, done=1, failed=0)
+    bus.emit("fleet_worker", worker="w1", state="started")
+    bus.emit("fleet_worker", worker="w2", state="started")
+    bus.emit("fleet_leased", key="a" * 64, worker="w1", expires=99.0,
+             attempt=1)
+    bus.emit("fleet_done", key="a" * 64, worker="w1", store="fresh")
+    bus.emit("fleet_done", key="b" * 64, worker="w2", store="hit")
+    bus.emit("fleet_requeued", key="c" * 64, reason="lease_expired")
+    bus.emit("fleet_failed", key="c" * 64, worker="w2", error="boom")
+    bus.emit("fleet_worker", worker="w2", state="exited")
+    bus.emit("fleet_queue", pending=0, leased=0, done=2, failed=1)
+    bus.close()
+    view = RunView(tmp_path)
+    view.refresh()
+    fleet = view.fleet()
+    assert fleet["queue"] == {"pending": 0, "leased": 0, "done": 2,
+                              "failed": 1}
+    assert fleet["workers_alive"] == 1 and fleet["workers_seen"] == 2
+    assert fleet["sweeps"][0]["sweep"] == "s"
+    assert fleet["done_fresh"] == 1 and fleet["done_hit"] == 1
+    assert fleet["failed"] == 1 and fleet["requeued"] == 1
+    # fleet events aggregate; they must not pollute the per-job table
+    assert view.jobs() == []
+    assert view.runs()["fleet"]["queue"]["done"] == 2
+
+
+def test_runview_fleet_is_none_without_fleet_events(tmp_path):
+    _emit_lifecycle(tmp_path / "events.jsonl")
+    view = RunView(tmp_path)
+    view.refresh()
+    assert view.fleet() is None
+    assert view.runs()["fleet"] is None
+
+
 def test_runview_metrics_and_history(tmp_path):
     (tmp_path / "k.manifest.json").write_text(json.dumps({
         "schema": 1, "key": "k", "kind": "dumbbell", "params": {},
@@ -203,6 +240,38 @@ def test_sse_stream_sees_events_appended_after_connect(live_server, tmp_path):
     assert done.wait(10.0), "SSE reader never saw the appended event"
     assert datas[0]["type"] == "job_cached"
     assert datas[0]["key"] == "late"
+
+
+def test_sse_keepalive_reaches_slow_consumer(tmp_path):
+    """An idle stream still carries bytes: comment keepalives hold the
+    connection open for consumers (or proxies) that read slowly."""
+    server = make_server(tmp_path, port=0, keepalive_every=0.2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        req = urllib.request.Request(f"http://{host}:{port}/events")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            keepalives = 0
+            deadline = time.monotonic() + 10.0
+            while keepalives < 2 and time.monotonic() < deadline:
+                line = resp.readline().decode().rstrip("\n")
+                if line.startswith(":"):
+                    keepalives += 1
+                    time.sleep(0.3)  # a consumer slower than the interval
+        assert keepalives == 2
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_tail_events_keepalive_interval_is_configurable(tmp_path):
+    view = RunView(tmp_path)
+    stop = threading.Event()
+    stream = view.tail_events(poll=0.05, stop=stop, keepalive_every=0.1)
+    kind, text = next(stream)
+    assert (kind, text) == ("keepalive", "")
+    stop.set()
 
 
 def test_make_server_binds_ephemeral_port(tmp_path):

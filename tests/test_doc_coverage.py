@@ -1,8 +1,8 @@
 """Doc-coverage lint: public APIs of the tooling packages stay documented.
 
 Walks every module under ``repro.runner``, ``repro.snapshot``,
-``repro.obs``, ``repro.serve`` and ``repro.validate`` and fails when a
-public symbol —
+``repro.obs``, ``repro.serve``, ``repro.validate``, ``repro.hybrid``
+and ``repro.fleet`` and fails when a public symbol —
 module, module-level function/class named by ``__all__`` (or all
 non-underscore names defined in the module), or a public method/property
 defined on such a class — has no docstring.  This backs the
@@ -19,7 +19,7 @@ import pkgutil
 import pytest
 
 PACKAGES = ["repro.runner", "repro.snapshot", "repro.obs", "repro.serve",
-            "repro.validate", "repro.hybrid"]
+            "repro.validate", "repro.hybrid", "repro.fleet"]
 
 
 def _iter_modules():
