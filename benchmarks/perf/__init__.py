@@ -20,8 +20,11 @@ Three benchmarks cover the three performance-critical layers:
   replacing all but a few foreground flows with a fluid ensemble.
 
 The payload records which event-engine backend ran the suite (the
-``engine`` key, resolved from ``REPRO_ENGINE``); numbers from different
-backends are not comparable.
+``engine`` key, resolved from ``REPRO_ENGINE``) and, since
+``repro-bench/3``, which compiled tier served it (the ``compiled`` key:
+``"cext"`` / ``"mypyc"`` / ``"cython"``, or ``null`` for pure Python —
+see :mod:`repro.compiled`); numbers from different backends or tiers
+are not comparable, and the perf guard skips rather than compare them.
 
 Run ``PYTHONPATH=src python -m benchmarks.perf`` from the repo root to
 regenerate ``BENCH_sim.json`` (the committed perf trajectory, diffed
@@ -42,7 +45,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 #: bump when the JSON layout changes (CI diffs the schema)
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: bump when the history-line layout changes incompatibly
 HISTORY_SCHEMA = "repro-bench-history/1"
@@ -372,6 +375,7 @@ def bench_fluid_batch(batch: int = 16, duration: float = 20.0,
 def run_suite(quick: bool = False, repeat: int = 3) -> Dict:
     """Run every benchmark; returns the ``BENCH_sim.json`` payload."""
     _ensure_src_on_path()
+    from repro.compiled import active_tier
     from repro.sim.engine import get_engine_class
 
     if quick:
@@ -400,11 +404,15 @@ def run_suite(quick: bool = False, repeat: int = 3) -> Dict:
     }
     for scheme, entry in dumbbell.items():
         benchmarks[f"dumbbell.{scheme}"] = entry
+    engine_cls = get_engine_class()
     return {
         "schema": SCHEMA,
         "quick": quick,
         "python": "%d.%d.%d" % sys.version_info[:3],
-        "engine": get_engine_class().__name__,
+        "engine": engine_cls.__name__,
+        # which compiled tier (cext/mypyc/cython) served the run, or None
+        # for pure Python — only meaningful when the engine is compiled
+        "compiled": active_tier() if engine_cls.__name__ == "CompiledSimulator" else None,
         "benchmarks": benchmarks,
     }
 
@@ -436,10 +444,11 @@ def history_record(results: Dict) -> Dict:
     """Condense one :func:`run_suite` payload into a history line.
 
     Keeps only what trajectory analysis needs: when, which code
-    (``git_sha``), which backend (``engine``), which tier (``quick``),
-    and the headline rate per benchmark (events/s, or steps/s for the
-    fluid benchmarks).  Full per-benchmark detail stays in
-    ``BENCH_sim.json``; the history is for run-over-run deltas.
+    (``git_sha``), which backend (``engine``), which compiled tier
+    (``compiled``), which tier (``quick``), and the headline rate per
+    benchmark (events/s, or steps/s for the fluid benchmarks).  Full
+    per-benchmark detail stays in ``BENCH_sim.json``; the history is
+    for run-over-run deltas.
     """
     rates = {}
     for name, entry in results.get("benchmarks", {}).items():
@@ -452,6 +461,7 @@ def history_record(results: Dict) -> Dict:
         "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": _git_sha(),
         "engine": results.get("engine"),
+        "compiled": results.get("compiled"),
         "python": results.get("python"),
         "quick": bool(results.get("quick")),
         "rates": rates,

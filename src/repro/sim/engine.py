@@ -33,13 +33,16 @@ Two interchangeable backends implement the same scheduling contract:
     Both backends produce bit-identical event ordering, sequence
     numbering, and ``events_processed`` counts.
 
-Instantiating :class:`Simulator` directly returns one of the two concrete
-backends, chosen by the ``REPRO_ENGINE`` environment variable
-(``array`` — the default — or ``legacy``), read lazily at construction
-time so tests can flip it per-instance.  Snapshots use a shared canonical
-state format (the legacy 5-tuple list), so a checkpoint captured under
-one engine restores under the other — see
-:func:`repro.snapshot.restore_bytes`.
+Instantiating :class:`Simulator` directly returns a concrete backend,
+chosen by the ``REPRO_ENGINE`` environment variable (``array`` — the
+default — or ``legacy``), read lazily at construction time so tests can
+flip it per-instance.  When the optional compiled extension is built
+(see :mod:`repro.compiled`), the array family is served by
+:class:`repro.compiled.engine.CompiledSimulator` — the same engine with
+its hot methods in C — unless ``REPRO_COMPILED=0`` pins pure Python.
+Snapshots use a shared canonical state format (the legacy 5-tuple
+list), so a checkpoint captured under one engine restores under any
+other — see :func:`repro.snapshot.restore_bytes`.
 
 Performance notes
 -----------------
@@ -76,6 +79,9 @@ __all__ = [
 
 _INF = float("inf")
 _NEG_INF = float("-inf")
+
+#: canonical (legacy-format) heap entry: ``(time, seq, fn, args, event)``
+_LegacyEntry = Tuple[float, int, Callable[..., Any], tuple, Optional["Event"]]
 
 #: slots every backend shares and every snapshot carries (``_running`` and
 #: ``profiler`` are process-local and deliberately excluded; the event
@@ -116,7 +122,7 @@ class Event:
         fn: Callable[..., Any],
         args: tuple,
         sim: Optional["Simulator"] = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -179,12 +185,12 @@ class Simulator:
         "profiler",
     )
 
-    def __new__(cls, *args, **kwargs):
+    def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
             cls = get_engine_class()
         return object.__new__(cls)
 
-    def __init__(self, seed: int = 1):
+    def __init__(self, seed: int = 1) -> None:
         self.now: float = 0.0
         self.seed = seed
         self._seq = 0
@@ -197,7 +203,7 @@ class Simulator:
         #: optional :class:`repro.obs.SamplingProfiler`; when set, event
         #: dispatch routes through it (results are unaffected — it times
         #: callbacks, nothing more)
-        self.profiler = None
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # random-number streams
@@ -274,7 +280,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # snapshot support
     # ------------------------------------------------------------------
-    def live_entries(self) -> List[Tuple[float, int, Callable, tuple, Optional[Event]]]:
+    def live_entries(self) -> List[_LegacyEntry]:
         """Live events as ``(time, seq, fn, args, event)`` 5-tuples.
 
         Engine-neutral view of the event list for snapshot diagnostics and
@@ -285,11 +291,11 @@ class Simulator:
         """
         raise NotImplementedError
 
-    def _export_heap(self):
+    def _export_heap(self) -> List[_LegacyEntry]:
         """Canonical (legacy-format) event list for ``__getstate__``."""
         raise NotImplementedError
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         """Snapshot state: shared slots plus the canonical event list.
 
         ``__slots__`` means default pickling would already enumerate the
@@ -327,7 +333,7 @@ class Simulator:
         state["_heap"] = self._export_heap()
         return state
 
-    def _restore_shared(self, state) -> None:
+    def _restore_shared(self, state: Dict[str, Any]) -> None:
         for slot in _STATE_SLOTS:
             setattr(self, slot, state[slot])
         self._running = False
@@ -351,9 +357,9 @@ class LegacySimulator(Simulator):
 
     __slots__ = ("_heap",)
 
-    def __init__(self, seed: int = 1):
+    def __init__(self, seed: int = 1) -> None:
         super().__init__(seed)
-        self._heap: List[Tuple[float, int, Callable, tuple, Optional[Event]]] = []
+        self._heap: List[_LegacyEntry] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -478,17 +484,17 @@ class LegacySimulator(Simulator):
     # ------------------------------------------------------------------
     # snapshot support
     # ------------------------------------------------------------------
-    def live_entries(self):
+    def live_entries(self) -> List[_LegacyEntry]:
         return [e for e in self._heap if e[4] is None or not e[4].cancelled]
 
-    def _export_heap(self):
+    def _export_heap(self) -> List[_LegacyEntry]:
         live = self.live_entries()
         if len(live) == len(self._heap):
             return self._heap
         heapq.heapify(live)
         return live
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self._restore_shared(state)
         heap = list(state["_heap"])
         # Re-heapify defensively: the canonical export is already a valid
@@ -548,13 +554,13 @@ class ArraySimulator(Simulator):
 
     __slots__ = ("_heap", "_horizon", "_ninline")
 
-    def __init__(self, seed: int = 1):
+    def __init__(self, seed: int = 1) -> None:
         super().__init__(seed)
         self._heap: List[tuple] = []
         # Inline-dispatch window: -inf outside run() (never claim), the
         # run horizon inside an unbudgeted, unprofiled run().
-        self._horizon = _NEG_INF
-        self._ninline = 0
+        self._horizon: float = _NEG_INF
+        self._ninline: int = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -719,8 +725,8 @@ class ArraySimulator(Simulator):
     # ------------------------------------------------------------------
     # snapshot support
     # ------------------------------------------------------------------
-    def live_entries(self):
-        out = []
+    def live_entries(self) -> List[_LegacyEntry]:
+        out: List[_LegacyEntry] = []
         for entry in self._heap:
             if len(entry) == 4:
                 out.append((entry[0], entry[1], entry[2], (entry[3],), None))
@@ -728,17 +734,17 @@ class ArraySimulator(Simulator):
                 out.append(entry)
         return out
 
-    def _export_heap(self):
+    def _export_heap(self) -> List[_LegacyEntry]:
         live = self.live_entries()
         if len(live) != len(self._heap):
             heapq.heapify(live)
         return live
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self._restore_shared(state)
         self._horizon = _NEG_INF
         self._ninline = 0
-        heap = []
+        heap: List[tuple] = []
         for entry in state["_heap"]:
             ev = entry[4]
             if ev is not None:
@@ -762,6 +768,8 @@ _ENGINE_ALIASES = {
     "legacy": "LegacySimulator",
     "tuple": "LegacySimulator",
     "v1": "LegacySimulator",
+    "compiled": "CompiledSimulator",
+    "cext": "CompiledSimulator",
 }
 
 
@@ -770,7 +778,17 @@ def get_engine_class(name: Optional[str] = None) -> type:
 
     With ``name=None`` the ``REPRO_ENGINE`` environment variable decides
     (read lazily on every call, so tests can flip it between
-    instantiations); unset or empty selects the array engine.
+    instantiations); unset or empty selects the array engine family.
+
+    Two orthogonal knobs compose here: ``REPRO_ENGINE`` picks the engine
+    *family* (array vs legacy), and ``REPRO_COMPILED`` picks the array
+    family's *implementation* (the optional compiled extension vs pure
+    Python — see :mod:`repro.compiled`).  When the array family is
+    selected and a compiled engine is active, the compiled class is
+    returned; the legacy engine is always pure Python.  Spelling
+    ``REPRO_ENGINE=compiled`` *requires* the compiled engine and raises
+    :class:`SimulationError` when no extension is built — use it when a
+    silent fallback would invalidate a measurement.
     """
     if name is None:
         name = os.environ.get("REPRO_ENGINE", "")
@@ -778,6 +796,25 @@ def get_engine_class(name: Optional[str] = None) -> type:
     cls_name = _ENGINE_ALIASES.get(key)
     if cls_name is None:
         raise SimulationError(
-            f"unknown engine {name!r} (REPRO_ENGINE): use 'array' or 'legacy'"
+            f"unknown engine {name!r} (REPRO_ENGINE): use 'array', 'legacy' "
+            f"or 'compiled'"
         )
+    if cls_name == "ArraySimulator":
+        from ..compiled import engine_class as _compiled_engine_class
+
+        compiled = _compiled_engine_class()
+        if compiled is not None:
+            return compiled
+        return ArraySimulator
+    if cls_name == "CompiledSimulator":
+        from ..compiled import engine_class as _compiled_engine_class
+
+        compiled = _compiled_engine_class()
+        if compiled is None:
+            raise SimulationError(
+                f"engine {name!r} (REPRO_ENGINE) requires the compiled "
+                f"extension, which is not built or is disabled by "
+                f"REPRO_COMPILED=0; build it with: python -m repro.compiled.build"
+            )
+        return compiled
     return globals()[cls_name]

@@ -11,7 +11,7 @@ their own (droppable) queues.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from .engine import Simulator
 from .packet import Packet
@@ -60,7 +60,7 @@ class Link:
         bandwidth: float,
         delay: float,
         qdisc: QueueDiscipline,
-    ):
+    ) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         if delay < 0:
@@ -80,10 +80,10 @@ class Link:
         #: float division to a dict hit.  Entries are computed with the
         #: exact expression ``size * 8.0 / bandwidth`` so cached and
         #: uncached runs are bit-identical.
-        self._ser_time: dict = {}
+        self._ser_time: Dict[int, float] = {}
         #: observability attachment (:class:`repro.obs.Collector`)
-        self.obs = None
-        self.obs_label = None
+        self.obs: Optional[Any] = None
+        self.obs_label: Optional[str] = None
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> None:
@@ -151,19 +151,19 @@ class Link:
     # ------------------------------------------------------------------
     # snapshot support
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         """Walk ``__slots__`` across the MRO so subclasses (e.g.
         :class:`~repro.sim.jitter.JitterLink`) round-trip their extra
         slots without defining their own hooks.  Everything a link holds
         — counters, qdisc, the serialization memo, an attached collector
         — is state worth keeping; nothing is process-local."""
-        state = {}
+        state: Dict[str, Any] = {}
         for klass in type(self).__mro__:
             for slot in getattr(klass, "__slots__", ()):
                 state[slot] = getattr(self, slot)
         return state
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         for slot, value in state.items():
             setattr(self, slot, value)
 

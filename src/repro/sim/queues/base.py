@@ -15,7 +15,8 @@ from __future__ import annotations
 import warnings
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Optional, Set, Type
+from typing import (Any, Callable, Deque, Dict, Iterator, List, Optional,
+                    Set, Type)
 
 from ..packet import Packet
 
@@ -43,7 +44,7 @@ _legacy_suppressed = 0
 
 
 @contextmanager
-def _factory_construction():
+def _factory_construction() -> Iterator[None]:
     """Mark constructions performed by make_queue() as non-deprecated."""
     global _legacy_suppressed
     _legacy_suppressed += 1
@@ -130,7 +131,8 @@ class QueueDiscipline:
     #: existed: restored instances take the slow (always-correct) path
     _plain_admit = False
 
-    def __init__(self, capacity_pkts: int, capacity_bytes: Optional[int] = None):
+    def __init__(self, capacity_pkts: int,
+                 capacity_bytes: Optional[int] = None) -> None:
         _maybe_warn_legacy_init(type(self))
         if capacity_pkts < 1:
             raise ValueError("queue capacity must be >= 1 packet")
@@ -151,11 +153,11 @@ class QueueDiscipline:
         #: callbacks invoked as ``fn(pkt, now)`` whenever a packet is
         #: dropped here — used to correlate queue-level losses with
         #: end-host RTT signals (Figure 2 of the paper).
-        self.drop_listeners = []
+        self.drop_listeners: List[Callable[[Packet, float], None]] = []
         #: observability attachment (:class:`repro.obs.Collector`); when
         #: ``None`` — the default — the hooks below cost one attribute
         #: test per packet and nothing else
-        self.obs = None
+        self.obs: Optional[Any] = None
         self.obs_label: Optional[str] = None
 
     # -- admission policy -------------------------------------------------
@@ -173,7 +175,7 @@ class QueueDiscipline:
             return "drop"
         return "enqueue"
 
-    def aqm_state(self) -> Optional[dict]:
+    def aqm_state(self) -> Optional[Dict[str, Any]]:
         """Controller state for ``queue_sample`` trace records.
 
         AQM subclasses override this to expose their internal signal

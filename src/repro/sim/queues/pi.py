@@ -14,7 +14,7 @@ ECN-capable packets and dropping the rest.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..engine import Simulator
 from ..packet import Packet
@@ -58,7 +58,7 @@ class PiQueue(QueueDiscipline):
         ecn: bool = True,
         sim: Optional[Simulator] = None,
         rng: Optional[random.Random] = None,
-    ):
+    ) -> None:
         super().__init__(capacity_pkts)
         if q_ref < 0:
             raise ValueError("q_ref must be non-negative")
@@ -99,5 +99,5 @@ class PiQueue(QueueDiscipline):
             return "drop"
         return "enqueue"
 
-    def aqm_state(self) -> dict:
+    def aqm_state(self) -> Dict[str, Any]:
         return {"p": self.p, "q_ref": self.q_ref}

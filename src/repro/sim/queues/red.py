@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..packet import Packet
 from .base import QueueDiscipline
@@ -73,7 +73,7 @@ class RedQueue(QueueDiscipline):
         mean_pkt_size: int = 1000,
         capacity_bytes: Optional[int] = None,
         rng: Optional[random.Random] = None,
-    ):
+    ) -> None:
         super().__init__(capacity_pkts, capacity_bytes=capacity_bytes)
         if not 0 < min_th < max_th:
             raise ValueError("need 0 < min_th < max_th")
@@ -178,14 +178,14 @@ class RedQueue(QueueDiscipline):
             return "mark"
         return "drop"
 
-    def aqm_state(self) -> dict:
+    def aqm_state(self) -> Dict[str, Any]:
         return {
             "avg": self.avg,
             "max_p": self.max_p,
             "p": self.mark_probability(),
         }
 
-    def dequeue(self, now: float):
+    def dequeue(self, now: float) -> Optional[Packet]:
         pkt = super().dequeue(now)
         if pkt is not None and not self._buf:
             self._idle_since = now

@@ -22,7 +22,7 @@ demonstrating the paper's claim that PERT generalises to other AQMs.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..engine import Simulator
 from ..packet import Packet
@@ -60,7 +60,7 @@ class RemQueue(QueueDiscipline):
         ecn: bool = True,
         sim: Optional[Simulator] = None,
         rng: Optional[random.Random] = None,
-    ):
+    ) -> None:
         super().__init__(capacity_pkts)
         if phi <= 1.0:
             raise ValueError("phi must be > 1")
@@ -106,5 +106,5 @@ class RemQueue(QueueDiscipline):
             return "drop"
         return "enqueue"
 
-    def aqm_state(self) -> dict:
+    def aqm_state(self) -> Dict[str, Any]:
         return {"price": self.price, "p": self.mark_probability()}

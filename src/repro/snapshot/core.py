@@ -165,7 +165,20 @@ def _diagnose_failure(sim: Simulator, state: Any, exc: Exception) -> SnapshotErr
 
 
 #: engine classes a snapshot may reference; remapped on cross-engine restore
-_ENGINE_CLASS_NAMES = ("Simulator", "LegacySimulator", "ArraySimulator")
+_ENGINE_CLASS_NAMES = (
+    "Simulator",
+    "LegacySimulator",
+    "ArraySimulator",
+    "CompiledSimulator",
+)
+
+#: modules those classes may live in (the compiled package ships the
+#: same engine contract under its own module names — see repro.compiled)
+_ENGINE_MODULES = (
+    "repro.sim.engine",
+    "repro.compiled.engine",
+    "repro.compiled._compiled_engine",
+)
 
 
 class _EngineRemapUnpickler(pickle.Unpickler):
@@ -184,7 +197,7 @@ class _EngineRemapUnpickler(pickle.Unpickler):
         self._target_cls = target_cls
 
     def find_class(self, module, name):
-        if module == "repro.sim.engine" and name in _ENGINE_CLASS_NAMES:
+        if module in _ENGINE_MODULES and name in _ENGINE_CLASS_NAMES:
             return self._target_cls
         return super().find_class(module, name)
 
@@ -192,9 +205,13 @@ class _EngineRemapUnpickler(pickle.Unpickler):
 def restore_bytes(body: bytes, *, engine: Optional[str] = None) -> Tuple[Simulator, Any]:
     """Unpickle a snapshot body; returns ``(sim, state)``.
 
-    *engine* (``"array"`` / ``"legacy"``) restores the simulator under
-    that backend regardless of which one captured the snapshot; ``None``
-    keeps the capturing engine's class.
+    *engine* (``"array"`` / ``"legacy"`` / ``"compiled"``) restores the
+    simulator under that backend regardless of which one captured the
+    snapshot; ``None`` keeps the capturing engine's class.  A snapshot
+    captured under the compiled engine restores with ``engine=None`` in
+    a process *without* the extension too: ``CompiledSimulator`` is
+    always defined and simply runs its inherited pure-Python methods
+    there (see :mod:`repro.compiled.engine`).
     """
     import io
 

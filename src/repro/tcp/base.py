@@ -21,7 +21,7 @@ are built on these hooks.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Type
 
 from ..sim.engine import Event, Simulator
 from ..sim.node import Node
@@ -75,7 +75,7 @@ class TcpSender:
         loss_beta: float = 0.5,
         rng: Optional[random.Random] = None,
         record_rtt: bool = False,
-    ):
+    ) -> None:
         self.sim = sim
         self.node = node
         self.flow_id = flow_id
@@ -96,9 +96,9 @@ class TcpSender:
         self.next_seq = 0  # next never-sent packet
         self.high_water = 0  # one past highest sent
         self.cum_ack = 0  # everything below is delivered
-        self.sacked: set = set()
-        self.lost: set = set()
-        self.rtx_out: set = set()  # retransmitted, not yet (s)acked
+        self.sacked: Set[int] = set()
+        self.lost: Set[int] = set()
+        self.rtx_out: Set[int] = set()  # retransmitted, not yet (s)acked
         self.highest_sacked = -1
         self.dupacks = 0
         self.in_recovery = False
@@ -109,7 +109,7 @@ class TcpSender:
         self.rttvar: Optional[float] = None
         self.rto = INITIAL_RTO
         self._backoff = 1
-        self._sent_time: dict = {}  # seq -> send time (cleared on rtx)
+        self._sent_time: Dict[int, float] = {}  # seq -> send time (cleared on rtx)
         self._last_rtx_time = -1.0  # Karn guard for gated cumulative ACKs
         self.min_rtt = float("inf")
         self.last_rtt: Optional[float] = None
@@ -137,8 +137,8 @@ class TcpSender:
 
         #: observability attachment (:class:`repro.obs.Collector`); the
         #: hooks are no-ops (one attribute test) while this is ``None``
-        self.obs = None
-        self.obs_label = None
+        self.obs: Optional[Any] = None
+        self.obs_label: Optional[str] = None
 
         self._rtx_timer: Optional[Event] = None
         node.register_endpoint(flow_id, self)
@@ -459,7 +459,7 @@ class TcpSink:
         max_sack_blocks: int = 3,
         delack: bool = False,
         delack_timeout: float = 0.1,
-    ):
+    ) -> None:
         self.sim = sim
         self.node = node
         self.flow_id = flow_id
@@ -468,14 +468,14 @@ class TcpSink:
         self.delack = delack
         self.delack_timeout = delack_timeout
         self.rcv_next = 0
-        self.out_of_order: set = set()
+        self.out_of_order: Set[int] = set()
         self.ece_active = False
         self.pkts_received = 0
         self.dup_pkts = 0
         self.acks_sent = 0
         self.bytes_received = 0  # unique payload bytes delivered in order
         self._delack_pending: Optional[Packet] = None
-        self._delack_timer = None
+        self._delack_timer: Optional[Event] = None
         node.register_endpoint(flow_id, self)
 
     def receive(self, pkt: Packet) -> None:
@@ -565,9 +565,9 @@ def connect_flow(
     src_node: Node,
     dst_node: Node,
     flow_id: int,
-    sender_cls=TcpSender,
-    sink_kwargs: Optional[dict] = None,
-    **sender_kwargs,
+    sender_cls: Type[TcpSender] = TcpSender,
+    sink_kwargs: Optional[Dict[str, Any]] = None,
+    **sender_kwargs: Any,
 ) -> Tuple[TcpSender, TcpSink]:
     """Create a sender on *src_node* and a sink on *dst_node* for one flow."""
     sender = sender_cls(

@@ -1,0 +1,1 @@
+"""Tests for the optional compiled engine backend (:mod:`repro.compiled`)."""

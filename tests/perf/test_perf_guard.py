@@ -17,7 +17,8 @@ Escape hatches:
   noisy for wall-clock assertions, so CI sets this and tracks perf via
   the ``bench-smoke`` job instead;
 * a baseline written by a different engine backend (the ``engine`` key)
-  skips rather than comparing apples to oranges.
+  or a different compiled tier (the ``compiled`` key — cext vs mypyc vs
+  pure Python) skips rather than comparing apples to oranges.
 """
 
 import json
@@ -34,16 +35,20 @@ _ATTEMPTS = 3
 
 #: benchmark -> (fraction of baseline rate a fresh best-of run must
 #: reach, rate field).  Floors reflect each workload's measured noise:
-#: long numpy-dominated runs sit near their baseline (tight floor),
-#: pure-Python dispatch loops and snapshot-heavy composites jitter more.
+#: pure-Python dispatch loops and snapshot-heavy composites jitter, and
+#: absolute rates on the reference machine drift ±20% between sessions
+#: even on engine-independent workloads (the fluid benchmarks never
+#: touch the event engine yet have been seen 40% apart across two runs
+#: minutes apart — see docs/PERFORMANCE.md on A/B methodology), so
+#: every floor leaves session-to-session headroom.
 NOISE_FLOORS = {
     "dumbbell.pert": (0.70, "events_per_sec"),
     "dumbbell.sack-droptail": (0.70, "events_per_sec"),
     "dumbbell.sack-red-ecn": (0.70, "events_per_sec"),
     "engine.churn": (0.60, "events_per_sec"),
     "dumbbell.warmstart": (0.55, "events_per_sec"),
-    "fluid.dde": (0.75, "steps_per_sec"),
-    "fluid.dde_batch": (0.75, "steps_per_sec"),
+    "fluid.dde": (0.55, "steps_per_sec"),
+    "fluid.dde_batch": (0.55, "steps_per_sec"),
     "hybrid.dumbbell": (0.60, "events_per_sec"),
 }
 
@@ -68,6 +73,18 @@ def _load_entry(name):
                 f"baseline recorded under {baseline_engine}, current "
                 f"engine differs — rates are not comparable"
             )
+        if "compiled" in data:
+            from repro.compiled import active_tier
+
+            current_tier = (active_tier()
+                            if get_engine_class().__name__ == "CompiledSimulator"
+                            else None)
+            if current_tier != data["compiled"]:
+                pytest.skip(
+                    f"baseline recorded under compiled tier "
+                    f"{data['compiled']!r}, current is {current_tier!r} — "
+                    f"rates are not comparable"
+                )
     return entry
 
 

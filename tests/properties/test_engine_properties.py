@@ -1,11 +1,12 @@
-"""Hypothesis properties of the event-engine contract, on both backends.
+"""Hypothesis properties of the event-engine contract, on all backends.
 
-Each property is parametrized over :class:`LegacySimulator` and
-:class:`ArraySimulator` (constructed directly, so the suite is
-independent of ``REPRO_ENGINE``), and one cross-engine property runs the
-same randomized schedule through both and demands identical dispatch
-sequences — the randomized counterpart of the scenario-level suite in
-``tests/differential``.
+Each property is parametrized over :class:`LegacySimulator`,
+:class:`ArraySimulator` and — when the optional extension is built (see
+:mod:`repro.compiled`) — :class:`CompiledSimulator` (constructed
+directly, so the suite is independent of ``REPRO_ENGINE``), and one
+cross-engine property runs the same randomized schedule through both
+pure backends and demands identical dispatch sequences — the randomized
+counterpart of the scenario-level suite in ``tests/differential``.
 """
 
 import pickle
@@ -14,9 +15,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.compiled import status as _compiled_status
 from repro.sim.engine import ArraySimulator, LegacySimulator
 
 ENGINES = [LegacySimulator, ArraySimulator]
+if _compiled_status().available:
+    from repro.compiled.engine import CompiledSimulator
+
+    ENGINES.append(CompiledSimulator)
 
 #: event times including exact duplicates (ties are the interesting case)
 delay_lists = st.lists(

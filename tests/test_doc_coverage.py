@@ -1,13 +1,18 @@
 """Doc-coverage lint: public APIs of the tooling packages stay documented.
 
 Walks every module under ``repro.runner``, ``repro.snapshot``,
-``repro.obs``, ``repro.serve``, ``repro.validate``, ``repro.hybrid``
-and ``repro.fleet`` and fails when a public symbol —
+``repro.obs``, ``repro.serve``, ``repro.validate``, ``repro.hybrid``,
+``repro.fleet`` and ``repro.compiled`` and fails when a public symbol —
 module, module-level function/class named by ``__all__`` (or all
 non-underscore names defined in the module), or a public method/property
 defined on such a class — has no docstring.  This backs the
 documentation contract in README.md: the subsystem docs can link to the
 API surface and trust that every entry point explains itself.
+
+Two document-drift guards ride along: the README documentation index
+must link every hand-written file under ``docs/``, and every
+``REPRO_*`` environment knob read anywhere under ``src/`` must have a
+row in ``docs/ENVIRONMENT.md`` (the authoritative knob table).
 """
 
 from __future__ import annotations
@@ -15,11 +20,16 @@ from __future__ import annotations
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import pytest
 
 PACKAGES = ["repro.runner", "repro.snapshot", "repro.obs", "repro.serve",
-            "repro.validate", "repro.hybrid", "repro.fleet"]
+            "repro.validate", "repro.hybrid", "repro.fleet",
+            "repro.compiled"]
+
+ROOT = Path(__file__).resolve().parents[1]
 
 
 def _iter_modules():
@@ -84,3 +94,69 @@ def test_public_api_has_docstrings():
 def test_packages_importable(pkg_name):
     """The audited packages import cleanly on their own."""
     assert importlib.import_module(pkg_name) is not None
+
+
+#: hand-written docs that must stay linked from the README index
+#: (generated files — RESULTS.md — are linked but not required here)
+_INDEXED_DOCS = ("ARCHITECTURE.md", "PERFORMANCE.md", "ENVIRONMENT.md",
+                 "OBSERVABILITY.md", "VALIDATION.md")
+
+
+def test_readme_indexes_docs():
+    """Every hand-written docs/ file has a link in the README index."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    missing = [name for name in _INDEXED_DOCS
+               if f"docs/{name}" not in readme]
+    assert not missing, (
+        f"docs not linked from the README documentation index: {missing}"
+    )
+    for name in _INDEXED_DOCS:
+        assert (ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
+
+
+#: knobs that gate pytest tiers only — documented with their suites and
+#: in ENVIRONMENT.md's closing note, but not read under src/
+_TEST_ONLY_KNOBS = {"REPRO_PERF_GUARD", "REPRO_DIFF_FULL", "REPRO_QUICK"}
+
+
+def test_environment_doc_covers_every_knob():
+    """docs/ENVIRONMENT.md has a row for every REPRO_* knob in src/.
+
+    The grep is deliberately broad (any ``REPRO_<NAME>`` token in the
+    sources, docstrings included) so a newly introduced knob cannot
+    ship undocumented — the failure names it.
+    """
+    pattern = re.compile(r"REPRO_[A-Z][A-Z0-9_]*")
+    knobs = set()
+    for path in (ROOT / "src" / "repro").rglob("*.py"):
+        knobs.update(pattern.findall(path.read_text(encoding="utf-8")))
+    knobs.update(_TEST_ONLY_KNOBS)
+    doc = (ROOT / "docs" / "ENVIRONMENT.md").read_text(encoding="utf-8")
+    documented = set(pattern.findall(doc))
+    missing = sorted(k for k in knobs if k not in documented)
+    assert not missing, (
+        f"knobs read in src/ but absent from docs/ENVIRONMENT.md: {missing}"
+    )
+
+
+def test_performance_doc_matches_bench_schema():
+    """docs/PERFORMANCE.md names the current BENCH schema strings.
+
+    A schema bump in benchmarks/perf without a matching doc update is
+    exactly the drift this lint exists to catch.
+    """
+    import sys
+
+    if str(ROOT) not in sys.path:
+        sys.path.insert(0, str(ROOT))
+    import benchmarks.perf as perf
+
+    doc = (ROOT / "docs" / "PERFORMANCE.md").read_text(encoding="utf-8")
+    assert perf.SCHEMA in doc, (
+        f"docs/PERFORMANCE.md does not mention the current BENCH schema "
+        f"{perf.SCHEMA!r}; update its schema reference section"
+    )
+    assert perf.HISTORY_SCHEMA in doc, (
+        f"docs/PERFORMANCE.md does not mention the current history schema "
+        f"{perf.HISTORY_SCHEMA!r}; update its schema reference section"
+    )
